@@ -1,0 +1,54 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one table or figure from the paper's
+evaluation (Section 7).  Measurements are *simulated cycles* from the
+machine model — wall-clock numbers reported by pytest-benchmark time
+the simulation itself and are not the experiment's metric.  Each module
+prints the paper-shaped table and asserts the qualitative shape (who
+wins, roughly by how much, where the crossovers are).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def overhead_pct(base: float, ours: float) -> float:
+    """Percent overhead of `ours` relative to `base` (positive=slower)."""
+    return 100.0 * (ours - base) / base
+
+
+def fmt_pct(value: float) -> str:
+    return f"{value:+6.1f}%"
+
+
+class Table:
+    """Tiny fixed-width table printer for benchmark reports."""
+
+    def __init__(self, title: str, columns: list[str]):
+        self.title = title
+        self.columns = columns
+        self.rows: list[list[str]] = []
+
+    def add(self, *cells) -> None:
+        self.rows.append([str(c) for c in cells])
+
+    def render(self) -> str:
+        widths = [
+            max(len(col), *(len(r[i]) for r in self.rows)) if self.rows else len(col)
+            for i, col in enumerate(self.columns)
+        ]
+        lines = [f"\n=== {self.title} ==="]
+        lines.append("  ".join(c.ljust(w) for c, w in zip(self.columns, widths)))
+        lines.append("  ".join("-" * w for w in widths))
+        for row in self.rows:
+            lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+        return "\n".join(lines)
+
+    def show(self) -> None:
+        print(self.render())
+
+
+@pytest.fixture
+def table():
+    return Table

@@ -1,0 +1,104 @@
+"""Ablations of the design choices DESIGN.md calls out.
+
+These do not correspond to a paper figure; they quantify the individual
+optimizations Section 5.1 describes ("MPX Optimizations") plus the
+shadow-stack CFI alternative Section 4 argues against:
+
+* check **coalescing** within basic blocks;
+* **small-displacement elision** backed by the guard zones;
+* magic-sequence CFI vs a classic **shadow stack** (the paper: magic
+  sequences make "CFI-checking more lightweight than the shadow stack
+  schemes").
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import OUR_CFI, OUR_MPX, compile_and_load
+from repro.apps.spec import kernel_source
+
+from .conftest import Table, fmt_pct, overhead_pct
+
+MEM_KERNELS = ("lbm", "h264ref", "sphinx3")
+# Displacement elision matters for field/constant-offset accesses, so
+# its ablation runs on the pointer-chasing kernels.
+DISP_KERNELS = ("gcc", "mcf", "lbm")
+CALL_KERNELS = ("sjeng", "gcc")
+
+_CACHE: dict[tuple, tuple[int, int]] = {}
+
+
+def _cycles(kernel: str, config) -> tuple[int, int]:
+    key = (kernel, config.name, config.coalesce_checks,
+           config.elide_small_disp, config.shadow_stack)
+    if key not in _CACHE:
+        process = compile_and_load(kernel_source(kernel, scale=1), config)
+        rc = process.run()
+        _CACHE[key] = (process.wall_cycles, rc)
+    return _CACHE[key]
+
+
+@pytest.mark.parametrize("kernel", MEM_KERNELS)
+def test_ablation_coalescing(kernel, benchmark):
+    on, rc_on = benchmark.pedantic(
+        _cycles, args=(kernel, OUR_MPX), rounds=1, iterations=1
+    )
+    off, rc_off = _cycles(kernel, OUR_MPX.variant(
+        name="OurMPX", coalesce_checks=False))
+    assert rc_on == rc_off
+    benchmark.extra_info["coalescing_saves_pct"] = overhead_pct(on, off)
+    assert off >= on, "coalescing must never slow a kernel down"
+
+
+@pytest.mark.parametrize("kernel", DISP_KERNELS)
+def test_ablation_disp_elision(kernel, benchmark):
+    on, rc_on = benchmark.pedantic(
+        _cycles, args=(kernel, OUR_MPX), rounds=1, iterations=1
+    )
+    off, rc_off = _cycles(kernel, OUR_MPX.variant(
+        name="OurMPX", elide_small_disp=False))
+    assert rc_on == rc_off
+    benchmark.extra_info["elision_saves_pct"] = overhead_pct(on, off)
+    assert off >= on
+
+
+@pytest.mark.parametrize("kernel", CALL_KERNELS)
+def test_ablation_shadow_stack(kernel, benchmark):
+    magic, rc_m = benchmark.pedantic(
+        _cycles, args=(kernel, OUR_CFI), rounds=1, iterations=1
+    )
+    shadow, rc_s = _cycles(
+        kernel, OUR_CFI.variant(name="OurCFI", shadow_stack=True)
+    )
+    assert rc_m == rc_s
+    benchmark.extra_info["shadow_extra_pct"] = overhead_pct(magic, shadow)
+    # The paper's claim: magic sequences are lighter than shadow stacks.
+    assert shadow >= magic
+
+
+def test_ablation_summary(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    table = Table(
+        "Ablations — each optimization's effect (cycles)",
+        ["experiment", "kernel", "with", "without", "delta"],
+    )
+    for kernel in MEM_KERNELS:
+        on, _ = _cycles(kernel, OUR_MPX)
+        off, _ = _cycles(kernel, OUR_MPX.variant(
+            name="OurMPX", coalesce_checks=False))
+        table.add("check coalescing", kernel, on, off,
+                  fmt_pct(overhead_pct(on, off)))
+    for kernel in DISP_KERNELS:
+        on, _ = _cycles(kernel, OUR_MPX)
+        off, _ = _cycles(kernel, OUR_MPX.variant(
+            name="OurMPX", elide_small_disp=False))
+        table.add("disp elision", kernel, on, off,
+                  fmt_pct(overhead_pct(on, off)))
+    for kernel in CALL_KERNELS:
+        magic, _ = _cycles(kernel, OUR_CFI)
+        shadow, _ = _cycles(kernel, OUR_CFI.variant(
+            name="OurCFI", shadow_stack=True))
+        table.add("magic vs shadow CFI", kernel, magic, shadow,
+                  fmt_pct(overhead_pct(magic, shadow)))
+    table.show()

@@ -1,0 +1,104 @@
+"""Figure 6: NGINX maximum sustained throughput vs response size.
+
+Paper results: overhead on sustained throughput ranges from 3.25% to
+29.32% and is *non-monotonic* in file size — it grows up to ~10 KB
+(cache pressure from the split stacks: the OurMPX − OurMPX-Sep gap) and
+then falls for large responses as the relative time spent outside U
+(kernel/copy, here: T costs) grows, tending to zero past 40 KB.
+
+We serve a corpus over the simulated channel with a closed loop of
+requests and report throughput (requests per million simulated cycles)
+as a percentage of Base for the paper's six configurations.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import TrustedRuntime, compile_and_load
+from repro.apps.webserver import QUIT_REQUEST, WEBSERVER_SRC, make_request
+from repro.config import NGINX_CONFIGS
+
+from .conftest import Table, fmt_pct, overhead_pct
+
+FILE_SIZES_KB = (0, 1, 4, 10, 20, 40)
+REQUESTS_PER_RUN = 10
+
+_RESULTS: dict[int, dict[str, float]] = {}
+
+
+def _throughput(config, size_kb: int) -> float:
+    runtime = TrustedRuntime()
+    name = f"file{size_kb:04d}"
+    runtime.add_file(name, b"F" * (size_kb * 1024))
+    for _ in range(REQUESTS_PER_RUN):
+        runtime.channel(0).feed(make_request(name))
+    runtime.channel(0).feed(QUIT_REQUEST)
+    process = compile_and_load(WEBSERVER_SRC, config, runtime=runtime)
+    served = process.run()
+    assert served == REQUESTS_PER_RUN
+    return served / process.wall_cycles * 1e6
+
+
+def _run_size(size_kb: int) -> dict[str, float]:
+    if size_kb in _RESULTS:
+        return _RESULTS[size_kb]
+    row = {c.name: _throughput(c, size_kb) for c in NGINX_CONFIGS}
+    _RESULTS[size_kb] = row
+    return row
+
+
+@pytest.mark.parametrize("size_kb", FILE_SIZES_KB)
+def test_fig6_size(size_kb, benchmark):
+    row = benchmark.pedantic(_run_size, args=(size_kb,), rounds=1, iterations=1)
+    base = row["Base"]
+    benchmark.extra_info.update(
+        {name: 100.0 * thr / base for name, thr in row.items()}
+    )
+    # Full instrumentation costs something but stays in the envelope.
+    loss = 100.0 * (1 - row["OurMPX"] / base)
+    assert 0.0 <= loss <= 45.0
+
+
+def test_fig6_aggregate_shapes(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    for size in FILE_SIZES_KB:
+        _run_size(size)
+
+    table = Table(
+        "Figure 6 — NGINX sustained throughput as % of Base",
+        ["size", "Base(req/Mcyc)", "Our1Mem", "OurBare", "OurCFI",
+         "OurMPX-Sep", "OurMPX"],
+    )
+    mpx_loss = {}
+    for size in FILE_SIZES_KB:
+        row = _RESULTS[size]
+        base = row["Base"]
+        table.add(
+            f"{size}KB",
+            f"{base:8.2f}",
+            *(f"{100 * row[name] / base:5.1f}%" for name in
+              ("Our1Mem", "OurBare", "OurCFI", "OurMPX-Sep", "OurMPX")),
+        )
+        mpx_loss[size] = 100.0 * (1 - row["OurMPX"] / base)
+    table.show()
+    print("paper: overhead 3.25%..29.32%, rising to ~10KB then falling")
+
+    losses = [mpx_loss[s] for s in FILE_SIZES_KB]
+    # Every size shows a real but bounded overhead.
+    assert all(0.0 <= v <= 45.0 for v in losses), losses
+    # The paper's non-monotonic shape: overhead *rises* from 0 KB to an
+    # interior peak, then the tail declines as time outside U (kernel/
+    # crypto/copy costs) absorbs the instrumentation.
+    worst = max(losses)
+    peak_index = losses.index(worst)
+    assert 0 < peak_index < len(losses) - 1, losses
+    assert losses[0] < worst
+    assert mpx_loss[FILE_SIZES_KB[-1]] < worst
+    # Layered configurations: each mechanism adds cost at small sizes.
+    small = _RESULTS[FILE_SIZES_KB[1]]
+    assert small["Our1Mem"] >= small["OurBare"] * 0.98
+    assert small["OurBare"] >= small["OurCFI"] * 0.98
+    assert small["OurCFI"] >= small["OurMPX"] * 0.98
+    # Separate stacks cost throughput relative to unified stacks.
+    assert small["OurMPX-Sep"] >= small["OurMPX"] * 0.98

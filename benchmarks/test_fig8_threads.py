@@ -1,0 +1,83 @@
+"""Figure 8: Merkle-tree file library — parallel scaling + integrity.
+
+Paper results: 1-6 threads concurrently reading a memory-mapped 2 GB
+file; until the thread count exceeds the core count (4), wall time and
+relative overhead stay nearly constant (linear scaling); OurSeg stays
+below 10% overhead and OurMPX below 17% in all configurations.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import BASE, OUR_MPX, OUR_SEG, compile_and_load
+from repro.apps.merklefs import merklefs_source
+
+from .conftest import Table, fmt_pct, overhead_pct
+
+THREADS = (1, 2, 3, 4, 6)
+CONFIGS = (BASE, OUR_SEG, OUR_MPX)
+N_CORES = 4
+
+_RESULTS: dict[tuple[str, int], int] = {}
+
+
+def _run(config, n_threads: int) -> int:
+    key = (config.name, n_threads)
+    if key in _RESULTS:
+        return _RESULTS[key]
+    process = compile_and_load(
+        merklefs_source(n_threads), config, n_cores=N_CORES
+    )
+    bad_blocks = process.run()
+    assert bad_blocks == 0, "integrity verification failed"
+    _RESULTS[key] = process.wall_cycles
+    return process.wall_cycles
+
+
+@pytest.mark.parametrize("n_threads", THREADS)
+def test_fig8_thread_count(n_threads, benchmark):
+    cycles = benchmark.pedantic(
+        _run, args=(OUR_MPX, n_threads), rounds=1, iterations=1
+    )
+    base = _run(BASE, n_threads)
+    seg = _run(OUR_SEG, n_threads)
+    benchmark.extra_info["mpx_overhead_pct"] = overhead_pct(base, cycles)
+    benchmark.extra_info["seg_overhead_pct"] = overhead_pct(base, seg)
+
+
+def test_fig8_shape(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    for n in THREADS:
+        for config in CONFIGS:
+            _run(config, n)
+
+    table = Table(
+        "Figure 8 — parallel Merkle-verified read (wall cycles, 4 cores)",
+        ["threads", "Base", "OurSeg", "OurMPX", "Seg ovh", "MPX ovh"],
+    )
+    for n in THREADS:
+        base = _RESULTS[("Base", n)]
+        seg = _RESULTS[("OurSeg", n)]
+        mpx = _RESULTS[("OurMPX", n)]
+        table.add(n, base, seg, mpx,
+                  fmt_pct(overhead_pct(base, seg)),
+                  fmt_pct(overhead_pct(base, mpx)))
+    table.show()
+    print("paper: flat to 4 threads; Seg < 10%, MPX < 17% everywhere")
+
+    # Linear scaling: wall time roughly flat while threads <= cores.
+    for config in CONFIGS:
+        t1 = _RESULTS[(config.name, 1)]
+        t4 = _RESULTS[(config.name, 4)]
+        assert t4 <= t1 * 1.8, f"{config.name} did not scale"
+    # Oversubscription costs: 6 threads on 4 cores is slower than 4.
+    assert _RESULTS[("Base", 6)] > _RESULTS[("Base", 4)]
+    # Overheads stay in the paper's bands (with sim slack).
+    for n in THREADS:
+        base = _RESULTS[("Base", n)]
+        seg_ovh = overhead_pct(base, _RESULTS[("OurSeg", n)])
+        mpx_ovh = overhead_pct(base, _RESULTS[("OurMPX", n)])
+        assert seg_ovh <= 20.0, (n, seg_ovh)
+        assert mpx_ovh <= 30.0, (n, mpx_ovh)
+        assert seg_ovh <= mpx_ovh + 1.0

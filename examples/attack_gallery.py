@@ -1,0 +1,37 @@
+#!/usr/bin/env python3
+"""Domain example: the Section 7.6 exploit gallery.
+
+Runs each injected vulnerability against the vanilla build (leaks) and
+against full ConfLLVM (stopped), printing what the attacker saw.
+"""
+
+from repro import BASE, OUR_MPX, OUR_SEG, TaintError, compile_source
+from repro.attacks import (
+    ALL_ATTACKS,
+    MINIZIP_DIRECT_SRC,
+)
+
+
+def main() -> None:
+    for name, attack in sorted(ALL_ATTACKS.items()):
+        print(f"== {name} ==")
+        for config in (BASE, OUR_MPX, OUR_SEG):
+            outcome = attack(config)
+            status = "LEAKED" if outcome.leaked else "stopped"
+            extra = f" ({outcome.fault_kind})" if outcome.faulted else ""
+            print(f"  {config.name:8s} {status}{extra}")
+            if outcome.leaked:
+                sample = outcome.output[:64]
+                print(f"           attacker saw: {sample!r}")
+        print()
+
+    print("== minizip without the casts ==")
+    try:
+        compile_source(MINIZIP_DIRECT_SRC, OUR_MPX)
+        print("  BUG: should have been rejected")
+    except TaintError as error:
+        print(f"  caught at compile time: {error}")
+
+
+if __name__ == "__main__":
+    main()

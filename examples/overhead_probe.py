@@ -1,0 +1,41 @@
+#!/usr/bin/env python3
+"""Domain example: measure one workload under every configuration.
+
+A miniature Figure 5: pick a SPEC kernel (default: mcf) and print its
+simulated cycles and overhead under all eight build configurations,
+plus the instrumentation counters that explain the differences.
+
+Usage: python examples/overhead_probe.py [kernel]
+"""
+
+import sys
+
+from repro import compile_and_load
+from repro.config import ALL_CONFIGS
+from repro.apps.spec import SPEC_NAMES, kernel_source
+
+
+def main() -> None:
+    kernel = sys.argv[1] if len(sys.argv) > 1 else "mcf"
+    if kernel not in SPEC_NAMES:
+        raise SystemExit(f"unknown kernel {kernel!r}; pick from {SPEC_NAMES}")
+    source = kernel_source(kernel, scale=1)
+
+    print(f"kernel: {kernel}")
+    print(f"{'config':10s} {'cycles':>12s} {'vs Base':>9s} "
+          f"{'bndchks':>9s} {'cfichks':>9s} {'instrs':>10s}")
+    base_cycles = None
+    for name, config in ALL_CONFIGS.items():
+        process = compile_and_load(source, config)
+        rc = process.run()
+        cycles = process.wall_cycles
+        if base_cycles is None:
+            base_cycles = cycles
+        pct = 100.0 * (cycles - base_cycles) / base_cycles
+        print(f"{name:10s} {cycles:12,} {pct:+8.1f}% "
+              f"{process.stats.bnd_checks:9,} {process.stats.cfi_checks:9,} "
+              f"{process.stats.instructions:10,}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""Quickstart: annotate, compile, get caught, fix, run, verify.
+
+Walks the Figure-1 scenario end to end:
+
+1. a web-server-ish handler accidentally sends a private password to a
+   public sink — ConfLLVM's qualifier inference rejects it at compile
+   time;
+2. the fixed program compiles, is checked by ConfVerify, and runs on
+   the simulated machine with full MPX instrumentation;
+3. a cast-laundered version of the same bug gets past the static
+   analysis but is stopped by the runtime checks.
+"""
+
+from repro import OUR_MPX, TaintError, MachineFault, TrustedRuntime, compile_and_load
+from repro.runtime.trusted import T_PROTOTYPES
+
+BUGGY = T_PROTOTYPES + """
+void handle_req(char *uname, private char *upasswd, char *out, int out_sz) {
+    private char passwd[64];
+    read_passwd(uname, passwd, 64);
+    if (!(cmp_secret(upasswd, passwd, 8) == 0)) { return; }
+    // BUG (Figure 1, line 10): inadvertently sending the password to
+    // the log file.
+    send(2, passwd, 64);
+    out[0] = 'O'; out[1] = 'K';
+}
+int main() {
+    char buf[128];
+    recv(0, buf, 128);
+    private char upw[16];
+    decrypt(buf + 64, upw, 16);
+    handle_req(buf, upw, buf, 128);
+    send(1, buf, 2);
+    return 0;
+}
+"""
+
+FIXED = BUGGY.replace("send(2, passwd, 64);", "/* logging removed */")
+
+LAUNDERED = BUGGY.replace(
+    "send(2, passwd, 64);",
+    "send(2, (char*)passwd, 64);  // cast hides the bug statically",
+)
+
+
+def main() -> None:
+    print("== 1. The compiler catches the leak statically ==")
+    runtime = TrustedRuntime()
+    runtime.set_password("user", b"sesame")
+    try:
+        compile_and_load(BUGGY, OUR_MPX, runtime=runtime)
+        raise SystemExit("BUG: leak not caught!")
+    except TaintError as error:
+        print(f"  rejected: {error}\n")
+
+    print("== 2. The fixed program compiles, verifies, and runs ==")
+    runtime = TrustedRuntime()
+    runtime.set_password("", b"sesame\x00\x00")
+    request = bytearray(128)
+    request[64:80] = runtime.encrypt_with(
+        runtime.session_key, b"sesame\x00\x00" + b"\x00" * 8
+    )
+    runtime.channel(0).feed(bytes(request))
+    process = compile_and_load(FIXED, OUR_MPX, runtime=runtime, verify=True)
+    process.run()
+    print(f"  response: {runtime.channel(1).drain_out()!r}")
+    print(f"  simulated cycles: {process.wall_cycles}")
+    print(f"  bound checks executed: {process.stats.bnd_checks}")
+    print(f"  CFI checks executed:   {process.stats.cfi_checks}\n")
+
+    print("== 3. Casts fool the static analysis; runtime checks do not ==")
+    runtime = TrustedRuntime()
+    runtime.set_password("", b"sesame\x00\x00")
+    runtime.channel(0).feed(bytes(request))
+    process = compile_and_load(LAUNDERED, OUR_MPX, runtime=runtime)
+    try:
+        process.run()
+        raise SystemExit("BUG: laundered leak not stopped!")
+    except MachineFault as fault:
+        print(f"  stopped at runtime: {fault}")
+    leaked = runtime.channel(2).drain_out()
+    print(f"  bytes that reached the log channel: {leaked!r}")
+    assert b"sesame" not in leaked
+
+
+if __name__ == "__main__":
+    main()

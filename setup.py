@@ -1,0 +1,16 @@
+"""Legacy setup shim.
+
+The sandboxed environment has setuptools but no ``wheel`` package, so
+PEP 517 editable installs (which require bdist_wheel) fail.  This file
+enables the legacy ``pip install -e . --no-use-pep517`` path.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="0.1.0",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+)

@@ -1,0 +1,54 @@
+"""ConfLLVM reproduction: a compiler enforcing data confidentiality in
+low-level code, rebuilt end-to-end in Python.
+
+Public API highlights:
+
+* :func:`compile_and_load` / :func:`compile_source` — MiniC source to a
+  running simulated process / linked binary;
+* :mod:`repro.config` — the paper's build configurations (Base, BaseOA,
+  Our1Mem, OurBare, OurCFI, OurMPX, OurMPX-Sep, OurSeg);
+* :class:`repro.runtime.TrustedRuntime` — the trusted library T
+  (channels, files, crypto, allocators, threads);
+* ``repro.verifier.verify_binary`` — ConfVerify;
+* :mod:`repro.formal` — the Appendix-A formal model.
+"""
+
+from .compiler import compile_and_load, compile_source
+from .config import (
+    ALL_CONFIGS,
+    BASE,
+    BASE_OA,
+    OUR_1MEM,
+    OUR_BARE,
+    OUR_CFI,
+    OUR_MPX,
+    OUR_MPX_SEP,
+    OUR_SEG,
+    BuildConfig,
+)
+from .errors import MachineFault, ReproError, TaintError, VerifyError
+from .runtime.trusted import T_PROTOTYPES, TrustedRuntime
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "compile_and_load",
+    "compile_source",
+    "BuildConfig",
+    "ALL_CONFIGS",
+    "BASE",
+    "BASE_OA",
+    "OUR_1MEM",
+    "OUR_BARE",
+    "OUR_CFI",
+    "OUR_MPX",
+    "OUR_MPX_SEP",
+    "OUR_SEG",
+    "TrustedRuntime",
+    "T_PROTOTYPES",
+    "ReproError",
+    "TaintError",
+    "VerifyError",
+    "MachineFault",
+    "__version__",
+]

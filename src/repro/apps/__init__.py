@@ -1,0 +1,1 @@
+"""Application corpus: MiniC sources for the paper's workloads."""

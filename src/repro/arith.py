@@ -1,0 +1,89 @@
+"""64-bit two's-complement arithmetic shared by the whole toolchain.
+
+The constant folder, the IR interpreter used in tests, and the machine
+simulator must agree exactly on arithmetic semantics, so they all call
+into this module.  Values are Python ints normalized to ``[0, 2**64)``;
+comparisons, division, and arithmetic shifts use the signed view.
+Division semantics are x86's (truncation toward zero).
+"""
+
+from __future__ import annotations
+
+from .errors import FAULT_DIV, MachineFault
+
+MASK64 = (1 << 64) - 1
+SIGN_BIT = 1 << 63
+
+
+def wrap(value: int) -> int:
+    """Normalize to unsigned 64-bit."""
+    return value & MASK64
+
+
+def signed(value: int) -> int:
+    """Interpret an unsigned 64-bit value as signed."""
+    value &= MASK64
+    return value - (1 << 64) if value & SIGN_BIT else value
+
+
+def eval_bin(op: str, a: int, b: int) -> int:
+    """Evaluate a 64-bit binary IR operation; result is unsigned-64."""
+    a = wrap(a)
+    b = wrap(b)
+    if op == "add":
+        return wrap(a + b)
+    if op == "sub":
+        return wrap(a - b)
+    if op == "mul":
+        return wrap(signed(a) * signed(b))
+    if op == "div":
+        sb = signed(b)
+        if sb == 0:
+            raise MachineFault(FAULT_DIV, "division by zero")
+        sa = signed(a)
+        quotient = abs(sa) // abs(sb)
+        if (sa < 0) != (sb < 0):
+            quotient = -quotient
+        return wrap(quotient)
+    if op == "mod":
+        sb = signed(b)
+        if sb == 0:
+            raise MachineFault(FAULT_DIV, "modulo by zero")
+        sa = signed(a)
+        remainder = abs(sa) % abs(sb)
+        if sa < 0:
+            remainder = -remainder
+        return wrap(remainder)
+    if op == "and":
+        return a & b
+    if op == "or":
+        return a | b
+    if op == "xor":
+        return a ^ b
+    if op == "shl":
+        return wrap(a << (b & 63))
+    if op == "shr":
+        # Arithmetic shift right (MiniC ints are signed).
+        return wrap(signed(a) >> (b & 63))
+    if op == "eq":
+        return 1 if a == b else 0
+    if op == "ne":
+        return 1 if a != b else 0
+    if op == "lt":
+        return 1 if signed(a) < signed(b) else 0
+    if op == "le":
+        return 1 if signed(a) <= signed(b) else 0
+    if op == "gt":
+        return 1 if signed(a) > signed(b) else 0
+    if op == "ge":
+        return 1 if signed(a) >= signed(b) else 0
+    raise ValueError(f"unknown binary op {op!r}")
+
+
+def eval_un(op: str, a: int) -> int:
+    a = wrap(a)
+    if op == "neg":
+        return wrap(-a)
+    if op == "not":
+        return wrap(~a)
+    raise ValueError(f"unknown unary op {op!r}")

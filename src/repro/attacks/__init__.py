@@ -1,0 +1,21 @@
+"""Section 7.6 vulnerability-injection experiments."""
+
+from .vulns import (
+    ALL_ATTACKS,
+    MINIZIP_DIRECT_SRC,
+    AttackOutcome,
+    run_format_string_attack,
+    run_minizip_attack,
+    run_mongoose_attack,
+    run_rop_attack,
+)
+
+__all__ = [
+    "ALL_ATTACKS",
+    "AttackOutcome",
+    "run_mongoose_attack",
+    "run_minizip_attack",
+    "run_format_string_attack",
+    "run_rop_attack",
+    "MINIZIP_DIRECT_SRC",
+]

@@ -1,0 +1,5 @@
+"""Backend: ConfISA, register allocation, code generation."""
+
+from .codegen import compile_function, compile_module
+
+__all__ = ["compile_function", "compile_module"]

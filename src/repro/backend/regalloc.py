@@ -1,0 +1,178 @@
+"""Taint-aware linear-scan register allocation.
+
+The allocator enforces the paper's register-taint discipline:
+
+* callee-save registers only ever hold **public** values (equivalent to
+  ConfLLVM's caller-save-and-clear of private callee-saves: private
+  data never survives in a register across a call boundary);
+* private virtual registers live across a call are spilled — to the
+  **private** stack, which is the taint-aware spilling of Section 5.1;
+* spill slots inherit the taint of the value they hold.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..ir.core import Call, CallIndirect, IRFunction, VReg
+from ..taint.lattice import PRIVATE, Taint
+from . import regs
+
+
+@dataclass
+class Interval:
+    vreg: VReg
+    start: int
+    end: int
+
+    @property
+    def taint(self) -> Taint:
+        return self.vreg.taint
+
+
+@dataclass
+class Assignment:
+    """Result of allocation for one function."""
+
+    # vreg id -> physical register
+    reg_of: dict[int, int] = field(default_factory=dict)
+    # vreg id -> spill index (dense, per taint)
+    spill_of: dict[int, tuple[str, int]] = field(default_factory=dict)
+    n_spills_public: int = 0
+    n_spills_private: int = 0
+    used_callee_saves: list[int] = field(default_factory=list)
+
+    def location(self, vreg: VReg):
+        if vreg.id in self.reg_of:
+            return ("reg", self.reg_of[vreg.id])
+        return ("spill", *self.spill_of[vreg.id])
+
+
+def _compute_liveness(func: IRFunction):
+    """Block-level liveness (live-in/live-out sets of vreg ids)."""
+    use_sets: dict[str, set[int]] = {}
+    def_sets: dict[str, set[int]] = {}
+    for block in func.blocks:
+        uses: set[int] = set()
+        defs: set[int] = set()
+        for instr in block.instrs:
+            for u in instr.uses():
+                if u.id not in defs:
+                    uses.add(u.id)
+            for d in instr.defs():
+                defs.add(d.id)
+        use_sets[block.name] = uses
+        def_sets[block.name] = defs
+    live_in: dict[str, set[int]] = {b.name: set() for b in func.blocks}
+    live_out: dict[str, set[int]] = {b.name: set() for b in func.blocks}
+    changed = True
+    while changed:
+        changed = False
+        for block in reversed(func.blocks):
+            out: set[int] = set()
+            for succ in block.successors():
+                out |= live_in[succ]
+            new_in = use_sets[block.name] | (out - def_sets[block.name])
+            if out != live_out[block.name] or new_in != live_in[block.name]:
+                live_out[block.name] = out
+                live_in[block.name] = new_in
+                changed = True
+    return live_in, live_out
+
+
+def _build_intervals(func: IRFunction):
+    live_in, live_out = _compute_liveness(func)
+    position = 0
+    starts: dict[int, int] = {}
+    ends: dict[int, int] = {}
+    vregs: dict[int, VReg] = {}
+    call_positions: list[int] = []
+
+    def touch(vreg: VReg, pos: int):
+        vregs[vreg.id] = vreg
+        if vreg.id not in starts or pos < starts[vreg.id]:
+            starts[vreg.id] = pos
+        if vreg.id not in ends or pos > ends[vreg.id]:
+            ends[vreg.id] = pos
+
+    for vreg in func.param_vregs:
+        touch(vreg, 0)
+
+    block_bounds: dict[str, tuple[int, int]] = {}
+    instr_positions: dict[int, int] = {}
+    for block in func.blocks:
+        first = position
+        for instr in block.instrs:
+            if isinstance(instr, (Call, CallIndirect)):
+                call_positions.append(position)
+            for u in instr.uses():
+                touch(u, position)
+            for d in instr.defs():
+                touch(d, position)
+            position += 1
+        block_bounds[block.name] = (first, position - 1)
+
+    # Extend intervals to block boundaries where the value is live.
+    for block in func.blocks:
+        first, last = block_bounds[block.name]
+        for vid in live_in[block.name]:
+            if vid in vregs:
+                starts[vid] = min(starts[vid], first)
+        for vid in live_out[block.name]:
+            if vid in vregs:
+                ends[vid] = max(ends[vid], last)
+
+    intervals = [
+        Interval(vregs[vid], starts[vid], ends[vid]) for vid in vregs
+    ]
+    intervals.sort(key=lambda iv: (iv.start, iv.end))
+    return intervals, call_positions
+
+
+def allocate(func: IRFunction) -> Assignment:
+    intervals, call_positions = _build_intervals(func)
+    result = Assignment()
+
+    def crosses_call(iv: Interval) -> bool:
+        return any(iv.start < p < iv.end for p in call_positions)
+
+    active: list[tuple[int, int, Interval]] = []  # (end, reg, interval)
+    callee_saves_used: set[int] = set()
+
+    def spill(iv: Interval) -> None:
+        if iv.taint is PRIVATE:
+            result.spill_of[iv.vreg.id] = ("priv", result.n_spills_private)
+            result.n_spills_private += 1
+        else:
+            result.spill_of[iv.vreg.id] = ("pub", result.n_spills_public)
+            result.n_spills_public += 1
+
+    for iv in intervals:
+        active = [entry for entry in active if entry[0] >= iv.start]
+        in_use = {entry[1] for entry in active}
+        if crosses_call(iv):
+            if iv.taint is PRIVATE:
+                # Private values never survive a call in a register.
+                spill(iv)
+                continue
+            pool = regs.CALLEE_SAVE
+        elif iv.taint is PRIVATE:
+            pool = regs.ALLOC_PRIVATE
+        else:
+            pool = regs.ALLOC_PUBLIC
+        chosen = None
+        for reg in pool:
+            if reg in regs.SCRATCH or reg in in_use:
+                continue
+            chosen = reg
+            break
+        if chosen is None:
+            spill(iv)
+            continue
+        result.reg_of[iv.vreg.id] = chosen
+        if chosen in regs.CALLEE_SAVE:
+            callee_saves_used.add(chosen)
+        active.append((iv.end, chosen, iv))
+
+    result.used_callee_saves = sorted(callee_saves_used)
+    return result

@@ -1,0 +1,73 @@
+"""Physical register model (x64-flavoured).
+
+The calling convention follows the paper's x64 Windows convention:
+four argument registers, one return register.  Callee-save registers
+may only ever hold *public* values — ConfLLVM achieves the same
+invariant by having callers save and clear private-tainted callee-saves
+before calls; restricting allocation is an equivalent, simpler policy
+with identical observable behaviour (private values never survive in
+registers across a call boundary).
+"""
+
+from __future__ import annotations
+
+RAX = 0
+RCX = 1
+RDX = 2
+R8 = 3
+R9 = 4
+R10 = 5
+R11 = 6
+RBX = 7
+RSI = 8
+RDI = 9
+R12 = 10
+R13 = 11
+R14 = 12
+R15 = 13
+RSP = 14
+
+NUM_GPRS = 15
+
+# Segment registers (separate space; only the machine and T wrappers
+# may write them — ConfVerify rejects U code that modifies them).
+FS = 100
+GS = 101
+
+REG_NAMES = {
+    RAX: "rax",
+    RCX: "rcx",
+    RDX: "rdx",
+    R8: "r8",
+    R9: "r9",
+    R10: "r10",
+    R11: "r11",
+    RBX: "rbx",
+    RSI: "rsi",
+    RDI: "rdi",
+    R12: "r12",
+    R13: "r13",
+    R14: "r14",
+    R15: "r15",
+    RSP: "rsp",
+    FS: "fs",
+    GS: "gs",
+}
+
+ARG_REGS = (RCX, RDX, R8, R9)
+RET_REG = RAX
+
+CALLER_SAVE = (RAX, RCX, RDX, R8, R9, R10, R11)
+CALLEE_SAVE = (RBX, RSI, RDI, R12, R13, R14, R15)
+
+# Registers the code generator reserves for its own addressing/spill
+# scratch; never handed to the register allocator.
+SCRATCH = (R10, R11)
+
+# Allocatable pools.
+ALLOC_PRIVATE = (RAX, RCX, RDX, R8, R9)  # caller-save only
+ALLOC_PUBLIC = (RBX, RSI, RDI, R12, R13, R14, R15, RAX, RCX, RDX, R8, R9)
+
+
+def name(reg: int) -> str:
+    return REG_NAMES.get(reg, f"r?{reg}")

@@ -1,0 +1,174 @@
+"""Command-line driver: ``python -m repro <command> ...``.
+
+Commands
+--------
+run      compile a MiniC file and execute it on the simulated machine
+verify   compile and run ConfVerify on the result
+disasm   compile and print the linked instruction stream
+bench    run one source under every configuration and print overheads
+
+Common options: ``--config <name>`` (default OurMPX; see ``repro.config``),
+``--file name=path`` to add RAM-disk files, ``--stdin-hex BYTES`` to feed
+channel 0, ``--seed N`` for deterministic magic selection.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .compiler import compile_source
+from .config import ALL_CONFIGS, OUR_MPX
+from .errors import MachineFault, ReproError
+from .link.loader import load
+from .runtime.trusted import T_PROTOTYPES, TrustedRuntime
+
+
+def _read_source(path: str, add_prototypes: bool) -> str:
+    with open(path) as handle:
+        source = handle.read()
+    if add_prototypes and "extern trusted" not in source:
+        source = T_PROTOTYPES + source
+    return source
+
+
+def _make_runtime(args) -> TrustedRuntime:
+    runtime = TrustedRuntime()
+    for spec in args.file or []:
+        name, _, path = spec.partition("=")
+        with open(path, "rb") as handle:
+            runtime.add_file(name, handle.read())
+    for spec in args.password or []:
+        user, _, pw = spec.partition("=")
+        runtime.set_password(user, pw.encode())
+    if args.stdin_hex:
+        runtime.channel(0).feed(bytes.fromhex(args.stdin_hex))
+    return runtime
+
+
+def cmd_run(args) -> int:
+    source = _read_source(args.source, not args.no_prototypes)
+    config = ALL_CONFIGS[args.config]
+    binary = compile_source(source, config, seed=args.seed,
+                            verify=args.verify)
+    runtime = _make_runtime(args)
+    process = load(binary, runtime=runtime)
+    profiler = None
+    if args.profile:
+        from .machine.profile import attach_profiler
+
+        profiler = attach_profiler(process.machine)
+    try:
+        code = process.run()
+    except MachineFault as fault:
+        print(f"FAULT: {fault}", file=sys.stderr)
+        return 2
+    for line in process.stdout:
+        print(line)
+    if args.stats:
+        stats = process.stats
+        print(
+            f"[cycles={process.wall_cycles} instrs={stats.instructions} "
+            f"bndchks={stats.bnd_checks} cfichks={stats.cfi_checks} "
+            f"tcalls={stats.t_calls}]",
+            file=sys.stderr,
+        )
+    if profiler is not None:
+        print(f"{'function':24s} {'cycles':>10s} {'share':>7s}", file=sys.stderr)
+        for row in profiler.report(top=12):
+            print(
+                f"{row.name:24s} {row.cycles:10,} {row.cycle_share:6.1%}",
+                file=sys.stderr,
+            )
+    outbox = runtime.channel(1).drain_out()
+    if outbox:
+        print(f"[channel 1: {outbox.hex()}]", file=sys.stderr)
+    return code & 0xFF
+
+
+def cmd_verify(args) -> int:
+    from .verifier import verify_binary
+
+    source = _read_source(args.source, not args.no_prototypes)
+    config = ALL_CONFIGS[args.config]
+    binary = compile_source(source, config, seed=args.seed)
+    verify_binary(binary)
+    print(f"OK: {args.source} verifies under {config.name}")
+    return 0
+
+
+def cmd_disasm(args) -> int:
+    source = _read_source(args.source, not args.no_prototypes)
+    config = ALL_CONFIGS[args.config]
+    binary = compile_source(source, config, seed=args.seed)
+    addr_to_label = {}
+    for name, addr in binary.label_addrs.items():
+        addr_to_label.setdefault(addr, []).append(name)
+    for addr, insn in enumerate(binary.code):
+        for label in addr_to_label.get(addr, []):
+            print(f"{label}:")
+        print(f"  {addr:6d}  {insn!r}")
+    return 0
+
+
+def cmd_bench(args) -> int:
+    source = _read_source(args.source, not args.no_prototypes)
+    base_cycles = None
+    print(f"{'config':12s} {'cycles':>12s} {'vs Base':>9s}")
+    for name, config in ALL_CONFIGS.items():
+        binary = compile_source(source, config, seed=args.seed)
+        process = load(binary, runtime=_make_runtime(args))
+        process.run()
+        cycles = process.wall_cycles
+        if base_cycles is None:
+            base_cycles = cycles
+        pct = 100.0 * (cycles - base_cycles) / base_cycles
+        print(f"{name:12s} {cycles:12,} {pct:+8.1f}%")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="ConfLLVM-reproduction toolchain driver"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    for name, handler in (
+        ("run", cmd_run),
+        ("verify", cmd_verify),
+        ("disasm", cmd_disasm),
+        ("bench", cmd_bench),
+    ):
+        p = sub.add_parser(name)
+        p.add_argument("source", help="MiniC source file")
+        p.add_argument("--config", default=OUR_MPX.name,
+                       choices=sorted(ALL_CONFIGS))
+        p.add_argument("--seed", type=int, default=None)
+        p.add_argument("--no-prototypes", action="store_true",
+                       help="do not prepend the standard T prototypes")
+        p.add_argument("--file", action="append",
+                       help="name=path: add a RAM-disk file")
+        p.add_argument("--password", action="append",
+                       help="user=pw: register a stored password")
+        p.add_argument("--stdin-hex", default=None,
+                       help="hex bytes fed to channel 0")
+        p.set_defaults(handler=handler)
+        if name == "run":
+            p.add_argument("--verify", action="store_true",
+                           help="run ConfVerify before loading")
+            p.add_argument("--stats", action="store_true")
+            p.add_argument("--profile", action="store_true",
+                           help="print per-function cycle attribution")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return args.handler(args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

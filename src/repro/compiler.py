@@ -1,0 +1,67 @@
+"""The one-call driver: MiniC source -> running process.
+
+This is the public API most examples and benchmarks use::
+
+    from repro import compile_and_load, OUR_MPX
+
+    process = compile_and_load(source, OUR_MPX)
+    exit_code = process.run()
+
+The full pipeline is parse -> analyze (taint inference) -> lower to IR
+-> optimize -> codegen (+instrumentation) -> link (magic selection) ->
+verify (ConfVerify, unless disabled) -> load.
+"""
+
+from __future__ import annotations
+
+from .backend.codegen import compile_module
+from .config import BuildConfig
+from .frontend.lower import lower_program
+from .link.linker import link
+from .link.loader import Process, load
+from .link.objfile import Binary, UObject
+from .minic.parser import parse
+from .minic.sema import analyze
+from .opt.pipeline import optimize_module
+from .runtime.trusted import TrustedRuntime
+
+
+def compile_source(
+    source: str,
+    config: BuildConfig,
+    entry: str = "main",
+    filename: str = "<input>",
+    seed: int | None = None,
+    verify: bool = False,
+) -> Binary:
+    """Compile and link MiniC source into a binary."""
+    checked = analyze(
+        parse(source, filename),
+        strict=config.strict,
+        all_private=config.all_private,
+    )
+    module = lower_program(checked)
+    optimize_module(module, pipeline=config.pipeline)
+    obj: UObject = compile_module(module, config)
+    binary = link(obj, entry=entry, seed=seed)
+    if verify:
+        from .verifier.verify import verify_binary
+
+        verify_binary(binary)
+    return binary
+
+
+def compile_and_load(
+    source: str,
+    config: BuildConfig,
+    runtime: TrustedRuntime | None = None,
+    entry: str = "main",
+    n_cores: int = 4,
+    seed: int | None = None,
+    verify: bool = False,
+) -> Process:
+    """Compile, link, (optionally) verify, and load MiniC source."""
+    binary = compile_source(
+        source, config, entry=entry, seed=seed, verify=verify
+    )
+    return load(binary, runtime=runtime, n_cores=n_cores)

@@ -1,0 +1,30 @@
+"""The Appendix-A formal model and noninterference harness."""
+
+from .gen import generate_program, initial_pair
+from .model import (
+    ADVERSARY,
+    BOTTOM,
+    DONE,
+    Config,
+    Program,
+    TypeError_,
+    check_program,
+    low_equiv,
+    run_lockstep,
+    step,
+)
+
+__all__ = [
+    "check_program",
+    "step",
+    "low_equiv",
+    "run_lockstep",
+    "generate_program",
+    "initial_pair",
+    "Program",
+    "Config",
+    "TypeError_",
+    "BOTTOM",
+    "ADVERSARY",
+    "DONE",
+]

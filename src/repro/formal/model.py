@@ -1,0 +1,582 @@
+"""The Appendix-A formal model: abstract machine + verifier type system.
+
+Implements the paper's formalization of ConfVerify:
+
+* **Syntax** (Table 1): commands ``ldr``, ``str``, ``goto``,
+  ``ifthenelse``, ``ret``, ``call_U``/``call_T``, ``icall``, ``assert``
+  over expressions (constants, registers, unary/binary operators, and
+  ``&f`` function addresses);
+* **Operational semantics** (Figure 9): configurations
+  ``⟨ν, µ, ρ, [σ_H : σ_L], pc⟩`` with disjoint low/high memories,
+  split stacks, the adversarial state ``☠`` for out-of-CFG transfers,
+  and ``⊥`` for failed asserts;
+* **Type system** (Figure 10): flow-sensitive register taints with the
+  runtime-check side conditions (an assert dominating every ``ldr``/
+  ``str``, magic-bit agreement at calls and returns, low branch
+  conditions);
+* the **well-typedness checker** ``check_program`` (⊢ G), and
+* the ingredients of Theorem 1: :func:`low_equiv` and
+  :func:`run_lockstep`, which the property-based tests use to check
+  termination-insensitive noninterference on generated programs.
+
+Magic sequences are modelled abstractly as the taint-bit tuples they
+encode, exactly as the appendix does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+L, H = 0, 1
+N_REGS = 6  # reg0 is the return register; reg1..reg4 are arguments
+ARG_REGS = (1, 2, 3, 4)
+RET_REG = 0
+# The model has no callee-save registers: every register is clobbered
+# by (hence conservatively private after) a call, like the paper's
+# caller-save rule.
+CALLER_SAVE = (1, 2, 3, 4, 5)
+
+# ---------------------------------------------------------------------------
+# Expressions
+
+
+@dataclass(frozen=True)
+class Const:
+    value: int
+
+
+@dataclass(frozen=True)
+class Reg:
+    index: int
+
+
+@dataclass(frozen=True)
+class BinOp:
+    op: str  # add/sub/mul/xor/lt/eq
+    a: "Expr"
+    b: "Expr"
+
+
+@dataclass(frozen=True)
+class FuncAddr:
+    name: str
+
+
+Expr = Const | Reg | BinOp | FuncAddr
+
+# -- assert payloads (the runtime checks of Section 5.2) --------------------
+
+
+@dataclass(frozen=True)
+class InDom:
+    """``e ∈ Dom(µ_level)`` — the region check before a ldr/str."""
+
+    expr: Expr
+    level: int
+
+
+@dataclass(frozen=True)
+class ICallCheck:
+    """Magic check at an indirect call: target in G with these bits."""
+
+    target: Expr
+    arg_bits: tuple[int, int, int, int]
+    ret_bit: int
+
+
+@dataclass(frozen=True)
+class RetCheck:
+    """Magic check at return: the site's return-taint bit."""
+
+    ret_bit: int
+
+
+Check = InDom | ICallCheck | RetCheck
+
+# ---------------------------------------------------------------------------
+# Commands
+
+
+@dataclass(frozen=True)
+class Ldr:
+    reg: int
+    addr: Expr
+
+
+@dataclass(frozen=True)
+class Str:
+    reg: int
+    addr: Expr
+
+
+@dataclass(frozen=True)
+class Goto:
+    target: Expr
+
+
+@dataclass(frozen=True)
+class IfThenElse:
+    cond: Expr
+    then_target: Expr
+    else_target: Expr
+
+
+@dataclass(frozen=True)
+class RetCmd:
+    pass
+
+
+@dataclass(frozen=True)
+class CallU:
+    func: str
+    args: tuple[Expr, ...]
+
+
+@dataclass(frozen=True)
+class CallT:
+    func: str
+    args: tuple[Expr, ...]
+
+
+@dataclass(frozen=True)
+class ICall:
+    target: Expr
+    args: tuple[Expr, ...]
+
+
+@dataclass(frozen=True)
+class Assert:
+    check: Check
+
+
+Cmd = Ldr | Str | Goto | IfThenElse | RetCmd | CallU | CallT | ICall | Assert
+
+
+@dataclass
+class Node:
+    pc: int
+    cmd: Cmd
+    gamma: dict[int, int]  # register taints before
+    gamma_out: dict[int, int]  # register taints after
+    # For nodes that are valid return sites (pc just after a call):
+    # the taint bit of the MRet magic word preceding them.
+    ret_site_bit: int | None = None
+
+
+@dataclass
+class Function:
+    name: str
+    trusted: bool
+    entry: int
+    arg_bits: tuple[int, int, int, int]
+    ret_bit: int
+    nodes: dict[int, Node] = field(default_factory=dict)  # untrusted only
+
+
+@dataclass
+class Program:
+    functions: dict[str, Function]
+    entry_function: str
+
+    def node(self, pc: int) -> Node | None:
+        for func in self.functions.values():
+            if pc in func.nodes:
+                return func.nodes[pc]
+        return None
+
+    def function_at(self, pc: int) -> Function | None:
+        for func in self.functions.values():
+            if func.entry == pc:
+                return func
+        return None
+
+
+# ---------------------------------------------------------------------------
+# Configurations and operational semantics (Figure 9)
+
+BOTTOM = "⊥"  # halted safely on a failed assert
+ADVERSARY = "☠"  # escaped the CFG — the attacker state
+DONE = "∎"  # the entry function returned (final configuration)
+
+
+@dataclass
+class Config:
+    mu_low: dict[int, int]
+    mu_high: dict[int, int]
+    rho: list[int]
+    sigma_low: list[int]
+    sigma_high: list[int]
+    pc: int
+
+    def copy(self) -> "Config":
+        return Config(
+            dict(self.mu_low),
+            dict(self.mu_high),
+            list(self.rho),
+            list(self.sigma_low),
+            list(self.sigma_high),
+            self.pc,
+        )
+
+
+# Trusted functions are Python callables Config -> Config (they model
+# the ↪_f relation and are *assumed* noninterfering, Assumption 1).
+TrustedImpl = object
+
+
+def eval_expr(expr: Expr, config: Config, program: Program) -> int:
+    if isinstance(expr, Const):
+        return expr.value
+    if isinstance(expr, Reg):
+        return config.rho[expr.index]
+    if isinstance(expr, FuncAddr):
+        return program.functions[expr.name].entry
+    if isinstance(expr, BinOp):
+        a = eval_expr(expr.a, config, program)
+        b = eval_expr(expr.b, config, program)
+        if expr.op == "add":
+            return (a + b) & 0xFFFF
+        if expr.op == "sub":
+            return (a - b) & 0xFFFF
+        if expr.op == "mul":
+            return (a * b) & 0xFFFF
+        if expr.op == "xor":
+            return a ^ b
+        if expr.op == "lt":
+            return 1 if a < b else 0
+        if expr.op == "eq":
+            return 1 if a == b else 0
+        raise ValueError(expr.op)
+    raise ValueError(expr)
+
+
+def eval_check(check: Check, config: Config, program: Program) -> bool:
+    if isinstance(check, InDom):
+        addr = eval_expr(check.expr, config, program)
+        domain = config.mu_high if check.level == H else config.mu_low
+        return addr in domain
+    if isinstance(check, ICallCheck):
+        target = eval_expr(check.target, config, program)
+        func = program.function_at(target)
+        if func is None:
+            return False
+        return (
+            func.arg_bits == check.arg_bits and func.ret_bit == check.ret_bit
+        )
+    if isinstance(check, RetCheck):
+        if not config.sigma_low:
+            # Returning from the entry function: the loader-provided
+            # start thunk is a valid return site for any taint.
+            return True
+        adr = config.sigma_low[-1]
+        # The return site's magic must carry this ret bit: model as the
+        # target node being tagged via the program's site table.
+        site = program.node(adr)
+        return site is not None and getattr(site, "ret_site_bit", None) == check.ret_bit
+    raise ValueError(check)
+
+
+def step(
+    config: Config, program: Program, trusted_impls: dict[str, object]
+):
+    """One transition; returns a Config, BOTTOM, or ADVERSARY."""
+    node = program.node(config.pc)
+    if node is None:
+        return ADVERSARY
+    cmd = node.cmd
+    nxt = config.copy()
+    if isinstance(cmd, Ldr):
+        addr = eval_expr(cmd.addr, config, program)
+        if addr in config.mu_low:
+            nxt.rho[cmd.reg] = config.mu_low[addr]
+        elif addr in config.mu_high:
+            nxt.rho[cmd.reg] = config.mu_high[addr]
+        else:
+            return ADVERSARY
+        nxt.pc = config.pc + 1
+        return nxt
+    if isinstance(cmd, Str):
+        addr = eval_expr(cmd.addr, config, program)
+        if addr in config.mu_low:
+            nxt.mu_low[addr] = config.rho[cmd.reg]
+        elif addr in config.mu_high:
+            nxt.mu_high[addr] = config.rho[cmd.reg]
+        else:
+            return ADVERSARY
+        nxt.pc = config.pc + 1
+        return nxt
+    if isinstance(cmd, Goto):
+        nxt.pc = eval_expr(cmd.target, config, program)
+        return nxt
+    if isinstance(cmd, IfThenElse):
+        taken = eval_expr(cmd.cond, config, program)
+        target = cmd.then_target if taken else cmd.else_target
+        nxt.pc = eval_expr(target, config, program)
+        return nxt
+    if isinstance(cmd, RetCmd):
+        if not nxt.sigma_low:
+            return DONE  # the entry function returned
+        adr = nxt.sigma_low.pop()
+        if program.node(adr) is None:
+            return ADVERSARY
+        nxt.pc = adr
+        return nxt
+    if isinstance(cmd, CallU):
+        func = program.functions[cmd.func]
+        for i, arg in enumerate(cmd.args[:4]):
+            nxt.rho[ARG_REGS[i]] = eval_expr(arg, config, program)
+        nxt.sigma_low.append(config.pc + 1)
+        nxt.pc = func.entry
+        return nxt
+    if isinstance(cmd, CallT):
+        impl = trusted_impls[cmd.func]
+        for i, arg in enumerate(cmd.args[:4]):
+            nxt.rho[ARG_REGS[i]] = eval_expr(arg, config, program)
+        nxt = impl(nxt)
+        nxt.pc = config.pc + 1
+        return nxt
+    if isinstance(cmd, ICall):
+        target = eval_expr(cmd.target, config, program)
+        func = program.function_at(target)
+        if func is None:
+            return ADVERSARY
+        for i, arg in enumerate(cmd.args[:4]):
+            nxt.rho[ARG_REGS[i]] = eval_expr(arg, config, program)
+        nxt.sigma_low.append(config.pc + 1)
+        nxt.pc = target
+        return nxt
+    if isinstance(cmd, Assert):
+        if eval_check(cmd.check, config, program):
+            nxt.pc = config.pc + 1
+            return nxt
+        return BOTTOM
+    raise ValueError(cmd)
+
+
+# ---------------------------------------------------------------------------
+# Type system (Figure 10)
+
+
+class TypeError_(Exception):
+    """The formal checker's rejection (named to avoid the builtin)."""
+
+
+def expr_level(expr: Expr, gamma: dict[int, int]) -> int:
+    if isinstance(expr, (Const, FuncAddr)):
+        return L
+    if isinstance(expr, Reg):
+        return gamma[expr.index]
+    if isinstance(expr, BinOp):
+        return max(expr_level(expr.a, gamma), expr_level(expr.b, gamma))
+    raise ValueError(expr)
+
+
+def _preds(func: Function, pc: int) -> list[Node]:
+    preds = []
+    for node in func.nodes.values():
+        cmd = node.cmd
+        targets: list[int] = []
+        if isinstance(cmd, Goto) and isinstance(cmd.target, Const):
+            targets = [cmd.target.value]
+        elif isinstance(cmd, IfThenElse):
+            for t in (cmd.then_target, cmd.else_target):
+                if isinstance(t, Const):
+                    targets.append(t.value)
+        elif not isinstance(cmd, (RetCmd,)):
+            targets = [node.pc + 1]
+        if pc in targets:
+            preds.append(node)
+    return preds
+
+
+def check_node(func: Function, node: Node, program: Program) -> None:
+    """G ⊢ Γ {pc} Γ' for one node (the Figure 10 rules)."""
+    gamma = node.gamma
+    gamma_out = node.gamma_out
+    cmd = node.cmd
+
+    def require(cond: bool, why: str) -> None:
+        if not cond:
+            raise TypeError_(f"{func.name}@{node.pc}: {why}")
+
+    def preds_assert(pred_check) -> None:
+        preds = _preds(func, node.pc)
+        require(bool(preds), "no predecessors carry the required check")
+        for pred in preds:
+            ok = isinstance(pred.cmd, Assert) and pred_check(pred.cmd.check)
+            require(ok, f"predecessor @{pred.pc} lacks the required assert")
+
+    if isinstance(cmd, Ldr):
+        level = gamma_out.get(cmd.reg, L)
+        preds_assert(
+            lambda c: isinstance(c, InDom)
+            and c.expr == cmd.addr
+            and c.level == level
+        )
+        expected = dict(gamma)
+        expected[cmd.reg] = level
+        require(gamma_out == expected, "ldr output taints wrong")
+    elif isinstance(cmd, Str):
+        # Find the dominating region check to learn ℓe.
+        preds = _preds(func, node.pc)
+        require(bool(preds), "str without predecessors")
+        levels = set()
+        for pred in preds:
+            require(
+                isinstance(pred.cmd, Assert)
+                and isinstance(pred.cmd.check, InDom)
+                and pred.cmd.check.expr == cmd.addr,
+                "str without a region check",
+            )
+            levels.add(pred.cmd.check.level)
+        require(len(levels) == 1, "ambiguous region level")
+        level = levels.pop()
+        require(gamma[cmd.reg] <= level, "private store to public region")
+        require(gamma_out == gamma, "str must not change taints")
+    elif isinstance(cmd, (Goto, IfThenElse)):
+        exprs = [cmd.target] if isinstance(cmd, Goto) else [cmd.cond]
+        for e in exprs:
+            require(expr_level(e, gamma) == L, "branch/jump on private data")
+        require(gamma_out == gamma, "jump must not change taints")
+    elif isinstance(cmd, (CallU, CallT, ICall)):
+        if isinstance(cmd, ICall):
+            require(
+                expr_level(cmd.target, gamma) == L, "private function pointer"
+            )
+            bits = None
+            preds_assert(
+                lambda c: isinstance(c, ICallCheck) and c.target == cmd.target
+            )
+            pred = _preds(func, node.pc)[0]
+            bits = pred.cmd.check.arg_bits
+            ret_bit = pred.cmd.check.ret_bit
+        else:
+            callee = program.functions[cmd.func]
+            bits = callee.arg_bits
+            ret_bit = callee.ret_bit
+        for i, arg in enumerate(cmd.args[:4]):
+            require(
+                expr_level(arg, gamma) <= bits[i],
+                f"argument {i} taint exceeds callee expectation",
+            )
+        expected = dict(gamma)
+        expected[RET_REG] = ret_bit
+        for r in CALLER_SAVE:
+            expected[r] = H
+        require(gamma_out == expected, "post-call taints wrong")
+    elif isinstance(cmd, RetCmd):
+        require(
+            gamma[RET_REG] <= func.ret_bit,
+            "private return value declared public",
+        )
+        preds_assert(
+            lambda c: isinstance(c, RetCheck) and c.ret_bit == func.ret_bit
+        )
+        require(gamma_out == gamma, "ret must not change taints")
+    elif isinstance(cmd, Assert):
+        require(gamma_out == gamma, "assert must not change taints")
+    else:  # pragma: no cover
+        raise TypeError_(f"unknown command {cmd!r}")
+
+
+def check_program(program: Program) -> None:
+    """⊢ G: every untrusted node satisfies Figure 10 and successor
+    taints are consistent (Γ' ⊑ Γ of each successor)."""
+    for func in program.functions.values():
+        if func.trusted:
+            continue
+        entry_node = func.nodes.get(func.entry)
+        if entry_node is None:
+            raise TypeError_(f"{func.name}: missing entry node")
+        # Entry taints come from the magic bits.
+        for i, reg in enumerate(ARG_REGS):
+            if entry_node.gamma.get(reg, L) != func.arg_bits[i]:
+                raise TypeError_(
+                    f"{func.name}: entry taints disagree with magic bits"
+                )
+        for node in func.nodes.values():
+            check_node(func, node, program)
+            for succ_pc in _successor_pcs(node):
+                succ = func.nodes.get(succ_pc)
+                if succ is None:
+                    raise TypeError_(
+                        f"{func.name}@{node.pc}: successor {succ_pc} missing"
+                    )
+                for reg, level in node.gamma_out.items():
+                    if level > succ.gamma.get(reg, L):
+                        raise TypeError_(
+                            f"{func.name}@{node.pc}: taint not ⊑ successor"
+                        )
+
+
+def _successor_pcs(node: Node) -> list[int]:
+    cmd = node.cmd
+    if isinstance(cmd, RetCmd):
+        return []
+    if isinstance(cmd, Goto):
+        return [cmd.target.value] if isinstance(cmd.target, Const) else []
+    if isinstance(cmd, IfThenElse):
+        out = []
+        for t in (cmd.then_target, cmd.else_target):
+            if isinstance(t, Const):
+                out.append(t.value)
+        return out
+    if isinstance(cmd, (CallU, ICall)):
+        # Control returns to pc+1 eventually; the direct successor in
+        # the caller's node graph is pc+1.
+        return [node.pc + 1]
+    return [node.pc + 1]
+
+
+# ---------------------------------------------------------------------------
+# Noninterference (Theorem 1)
+
+
+def low_equiv(s1: Config, s2: Config, program: Program) -> bool:
+    """s1 =_L s2 per the paper: same pc, equal low stacks, equal low
+    memories, and equal registers wherever Γ says L."""
+    if s1.pc != s2.pc:
+        return False
+    if s1.sigma_low != s2.sigma_low:
+        return False
+    if s1.mu_low != s2.mu_low:
+        return False
+    node = program.node(s1.pc)
+    if node is not None:
+        for reg, level in node.gamma.items():
+            if level == L and s1.rho[reg] != s2.rho[reg]:
+                return False
+    return True
+
+
+def run_lockstep(
+    s1: Config,
+    s2: Config,
+    program: Program,
+    trusted_impls: dict[str, object],
+    max_steps: int = 200,
+):
+    """Run two low-equivalent configurations in lockstep, checking
+    low-equivalence after every step (the inductive heart of Theorem
+    1).  Returns ("ok", steps) or ("bottom", steps) when either run
+    halts on a failed assert (termination-insensitivity) — and raises
+    AssertionError on a noninterference violation."""
+    for i in range(max_steps):
+        n1 = step(s1, program, trusted_impls)
+        n2 = step(s2, program, trusted_impls)
+        if n1 == BOTTOM or n2 == BOTTOM:
+            return ("bottom", i)
+        if n1 == DONE or n2 == DONE:
+            assert n1 == n2 == DONE, "lockstep divergence at termination"
+            return ("done", i)
+        if n1 == ADVERSARY or n2 == ADVERSARY:
+            # ⊢ G rules this out (Lemma 1); reaching it is a bug.
+            raise AssertionError("well-typed program reached ☠")
+        assert low_equiv(n1, n2, program), (
+            f"noninterference violated at step {i}, pc={n1.pc}"
+        )
+        s1, s2 = n1, n2
+        node = program.node(s1.pc)
+        if node is None:
+            return ("done", i)
+    return ("ok", max_steps)

@@ -1,0 +1,5 @@
+"""AST-to-IR lowering."""
+
+from .lower import lower_program
+
+__all__ = ["lower_program"]

@@ -1,0 +1,533 @@
+"""The compiler's intermediate representation.
+
+A small, explicitly-typed three-address IR playing the role LLVM IR
+plays for ConfLLVM.  It is *not* SSA: virtual registers are assigned
+freely, and locals start as stack slots; the ``promote_slots`` pass
+(our mem2reg analogue) later turns non-address-taken scalar slots into
+virtual registers.
+
+Taint is first-class metadata: every virtual register, stack slot, and
+memory access carries a concrete :class:`~repro.taint.lattice.Taint`
+(qualifier inference has already run by the time IR exists).  The
+backend uses the access ``region`` to pick the MPX bounds register or
+fs/gs segment prefix, and slot/vreg taints to pick the public or the
+private stack.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import IRError
+from ..minic.types import FuncType
+from ..taint.lattice import PUBLIC, Taint
+
+BIN_OPS = frozenset(
+    {
+        "add", "sub", "mul", "div", "mod",
+        "and", "or", "xor", "shl", "shr",
+        "eq", "ne", "lt", "le", "gt", "ge",
+    }
+)
+UN_OPS = frozenset({"neg", "not"})
+
+Operand = object  # VReg | int
+
+
+class VReg:
+    """A virtual register with a fixed taint."""
+
+    __slots__ = ("id", "taint", "hint")
+
+    def __init__(self, id_: int, taint: Taint, hint: str = ""):
+        self.id = id_
+        self.taint = taint
+        self.hint = hint
+
+    def __repr__(self) -> str:
+        tag = "H" if self.taint is Taint.PRIVATE else "L"
+        suffix = f".{self.hint}" if self.hint else ""
+        return f"%{self.id}{tag}{suffix}"
+
+
+@dataclass
+class StackSlot:
+    """A named chunk of a function's frame, on the stack of its taint."""
+
+    uid: int
+    name: str
+    size: int
+    align: int
+    taint: Taint
+    address_taken: bool = False
+    # Assigned by the backend's frame layout:
+    offset: int = -1
+
+    def __repr__(self) -> str:
+        tag = "H" if self.taint is Taint.PRIVATE else "L"
+        return f"slot:{self.name}.{self.uid}{tag}"
+
+
+# ---------------------------------------------------------------------------
+# Instructions
+
+
+class Instr:
+    """Base class.  ``uses``/``defs`` drive dataflow and regalloc."""
+
+    def uses(self) -> list[VReg]:
+        return [v for v in self._use_operands() if isinstance(v, VReg)]
+
+    def defs(self) -> list[VReg]:
+        return []
+
+    def _use_operands(self) -> list[Operand]:
+        return []
+
+    @property
+    def is_terminator(self) -> bool:
+        return False
+
+
+@dataclass
+class Const(Instr):
+    dst: VReg
+    value: int
+
+    def defs(self):
+        return [self.dst]
+
+    def __repr__(self):
+        return f"{self.dst!r} = const {self.value}"
+
+
+@dataclass
+class Copy(Instr):
+    dst: VReg
+    src: Operand
+
+    def _use_operands(self):
+        return [self.src]
+
+    def defs(self):
+        return [self.dst]
+
+    def __repr__(self):
+        return f"{self.dst!r} = {self.src!r}"
+
+
+@dataclass
+class Un(Instr):
+    op: str
+    dst: VReg
+    src: Operand
+
+    def _use_operands(self):
+        return [self.src]
+
+    def defs(self):
+        return [self.dst]
+
+    def __repr__(self):
+        return f"{self.dst!r} = {self.op} {self.src!r}"
+
+
+@dataclass
+class Bin(Instr):
+    op: str
+    dst: VReg
+    a: Operand
+    b: Operand
+
+    def _use_operands(self):
+        return [self.a, self.b]
+
+    def defs(self):
+        return [self.dst]
+
+    def __repr__(self):
+        return f"{self.dst!r} = {self.op} {self.a!r}, {self.b!r}"
+
+
+@dataclass
+class MemRef:
+    """An IR memory reference: exactly one of ``base`` (a pointer
+    register), ``slot`` (frame-relative) or ``global_name`` is set, plus
+    an optional scaled index register and constant displacement.
+
+    ``region`` is the taint of the memory the access must land in; the
+    backend turns it into an MPX bounds check or an fs/gs prefix.  Slot
+    references compile to rsp-relative operands, which the paper's
+    ``_chkstk`` optimization exempts from checks when the displacement
+    is constant and small.
+    """
+
+    region: Taint
+    base: VReg | None = None
+    slot: "StackSlot | None" = None
+    global_name: str | None = None
+    index: VReg | None = None
+    scale: int = 1
+    disp: int = 0
+
+    def __post_init__(self):
+        anchors = sum(
+            x is not None for x in (self.base, self.slot, self.global_name)
+        )
+        assert anchors == 1, "MemRef needs exactly one anchor"
+
+    def regs(self) -> list[VReg]:
+        out = []
+        if self.base is not None:
+            out.append(self.base)
+        if self.index is not None:
+            out.append(self.index)
+        return out
+
+    def __repr__(self):
+        tag = "H" if self.region is Taint.PRIVATE else "L"
+        anchor = self.base or self.slot or f"@{self.global_name}"
+        parts = [f"{anchor!r}"]
+        if self.index is not None:
+            parts.append(f"{self.index!r}*{self.scale}")
+        if self.disp:
+            parts.append(str(self.disp))
+        return f"{tag}[{' + '.join(parts)}]"
+
+
+@dataclass
+class Load(Instr):
+    """``dst = size-byte load mem`` (zero-extending for size 1)."""
+
+    dst: VReg
+    mem: MemRef
+    size: int
+
+    def _use_operands(self):
+        return list(self.mem.regs())
+
+    def defs(self):
+        return [self.dst]
+
+    def __repr__(self):
+        return f"{self.dst!r} = load{self.size} {self.mem!r}"
+
+
+@dataclass
+class Store(Instr):
+    mem: MemRef
+    src: Operand
+    size: int
+
+    def _use_operands(self):
+        return [*self.mem.regs(), self.src]
+
+    def __repr__(self):
+        return f"store{self.size} {self.mem!r}, {self.src!r}"
+
+
+@dataclass
+class Lea(Instr):
+    """Materialize the effective address of a memory reference."""
+
+    dst: VReg
+    mem: MemRef
+
+    def _use_operands(self):
+        return list(self.mem.regs())
+
+    def defs(self):
+        return [self.dst]
+
+    def __repr__(self):
+        return f"{self.dst!r} = lea {self.mem!r}"
+
+
+@dataclass
+class LocalAddr(Instr):
+    dst: VReg
+    slot: StackSlot
+
+    def defs(self):
+        return [self.dst]
+
+    def __repr__(self):
+        return f"{self.dst!r} = addr {self.slot!r}"
+
+
+@dataclass
+class GlobalAddr(Instr):
+    dst: VReg
+    name: str
+
+    def defs(self):
+        return [self.dst]
+
+    def __repr__(self):
+        return f"{self.dst!r} = addr @{self.name}"
+
+
+@dataclass
+class FuncAddr(Instr):
+    dst: VReg
+    fname: str
+
+    def defs(self):
+        return [self.dst]
+
+    def __repr__(self):
+        return f"{self.dst!r} = funcaddr {self.fname}"
+
+
+@dataclass
+class Call(Instr):
+    """Direct call.  ``arg_taints``/``ret_taint`` snapshot the callee
+    signature so the backend can emit magic-sequence taint bits without
+    consulting the symbol table."""
+
+    dst: VReg | None
+    name: str
+    args: list[Operand]
+    arg_taints: list[Taint]
+    ret_taint: Taint
+    n_fixed: int  # args beyond n_fixed are variadic (public, stack-passed)
+
+    def _use_operands(self):
+        return list(self.args)
+
+    def defs(self):
+        return [self.dst] if self.dst is not None else []
+
+    def __repr__(self):
+        args = ", ".join(repr(a) for a in self.args)
+        dst = f"{self.dst!r} = " if self.dst else ""
+        return f"{dst}call {self.name}({args})"
+
+
+@dataclass
+class CallIndirect(Instr):
+    dst: VReg | None
+    target: VReg
+    args: list[Operand]
+    arg_taints: list[Taint]
+    ret_taint: Taint
+    n_fixed: int
+
+    def _use_operands(self):
+        return [self.target, *self.args]
+
+    def defs(self):
+        return [self.dst] if self.dst is not None else []
+
+    def __repr__(self):
+        args = ", ".join(repr(a) for a in self.args)
+        dst = f"{self.dst!r} = " if self.dst else ""
+        return f"{dst}icall {self.target!r}({args})"
+
+
+@dataclass
+class TlsBaseAddr(Instr):
+    """The current thread's TLS base (rsp masked to the stack base)."""
+
+    dst: VReg
+
+    def defs(self):
+        return [self.dst]
+
+    def __repr__(self):
+        return f"{self.dst!r} = tlsbase"
+
+
+@dataclass
+class VarArgAddr(Instr):
+    """Address of the index-th variadic slot of the *current* frame."""
+
+    dst: VReg
+    index: Operand
+
+    def _use_operands(self):
+        return [self.index]
+
+    def defs(self):
+        return [self.dst]
+
+    def __repr__(self):
+        return f"{self.dst!r} = varargaddr {self.index!r}"
+
+
+# Terminators
+
+
+@dataclass
+class Jump(Instr):
+    target: str
+
+    @property
+    def is_terminator(self):
+        return True
+
+    def __repr__(self):
+        return f"jump {self.target}"
+
+
+@dataclass
+class Branch(Instr):
+    cond: VReg
+    if_true: str
+    if_false: str
+
+    def _use_operands(self):
+        return [self.cond]
+
+    @property
+    def is_terminator(self):
+        return True
+
+    def __repr__(self):
+        return f"branch {self.cond!r} ? {self.if_true} : {self.if_false}"
+
+
+@dataclass
+class SwitchBr(Instr):
+    """Multi-way branch.  The backend lowers it to a jump table under
+    the vanilla pipeline (when dense) or to a compare chain under
+    ConfLLVM, which disables jump-table lowering because ConfVerify
+    rejects indirect jumps (Section 4, "Indirect jumps")."""
+
+    cond: VReg
+    table: list[tuple[int, str]]  # (case value, block label)
+    default: str
+
+    def _use_operands(self):
+        return [self.cond]
+
+    @property
+    def is_terminator(self):
+        return True
+
+    def __repr__(self):
+        arms = ", ".join(f"{v}->{t}" for v, t in self.table)
+        return f"switch {self.cond!r} [{arms}] else {self.default}"
+
+
+@dataclass
+class Ret(Instr):
+    value: Operand | None
+
+    def _use_operands(self):
+        return [self.value] if self.value is not None else []
+
+    @property
+    def is_terminator(self):
+        return True
+
+    def __repr__(self):
+        return f"ret {self.value!r}" if self.value is not None else "ret"
+
+
+# ---------------------------------------------------------------------------
+# Blocks / functions / module
+
+
+@dataclass
+class Block:
+    name: str
+    instrs: list[Instr] = field(default_factory=list)
+
+    @property
+    def terminator(self) -> Instr:
+        return self.instrs[-1]
+
+    def successors(self) -> list[str]:
+        term = self.terminator
+        if isinstance(term, Jump):
+            return [term.target]
+        if isinstance(term, Branch):
+            return [term.if_true, term.if_false]
+        if isinstance(term, SwitchBr):
+            return [t for _v, t in term.table] + [term.default]
+        return []
+
+
+class IRFunction:
+    def __init__(self, name: str, sig: FuncType, param_names: list[str]):
+        self.name = name
+        self.sig = sig
+        self.param_names = param_names
+        self.blocks: list[Block] = []
+        self.slots: list[StackSlot] = []
+        self.param_vregs: list[VReg] = []
+        self._next_vreg = 0
+        self._next_slot = 0
+        self._next_block = 0
+
+    def new_vreg(self, taint: Taint, hint: str = "") -> VReg:
+        vreg = VReg(self._next_vreg, taint, hint)
+        self._next_vreg += 1
+        return vreg
+
+    def new_slot(
+        self, name: str, size: int, align: int, taint: Taint
+    ) -> StackSlot:
+        slot = StackSlot(self._next_slot, name, size, align, taint)
+        self._next_slot += 1
+        self.slots.append(slot)
+        return slot
+
+    def new_block(self, hint: str = "bb") -> Block:
+        block = Block(f"{self.name}.{hint}.{self._next_block}")
+        self._next_block += 1
+        self.blocks.append(block)
+        return block
+
+    def block_map(self) -> dict[str, Block]:
+        return {b.name: b for b in self.blocks}
+
+    def __repr__(self) -> str:
+        lines = [f"func {self.name} {self.sig!r}:"]
+        for slot in self.slots:
+            lines.append(f"  {slot!r} size={slot.size}")
+        for block in self.blocks:
+            lines.append(f" {block.name}:")
+            for instr in block.instrs:
+                lines.append(f"    {instr!r}")
+        return "\n".join(lines)
+
+
+@dataclass
+class IRGlobal:
+    name: str
+    size: int
+    align: int
+    taint: Taint
+    init_bytes: bytes | None = None  # None means zero-init
+    read_only: bool = False
+
+
+@dataclass
+class ExternSig:
+    """A trusted (T) function's annotated signature."""
+
+    name: str
+    sig: FuncType
+    arg_taints: list[Taint] = field(default_factory=list)
+    ret_taint: Taint = PUBLIC
+
+
+class IRModule:
+    def __init__(self, name: str = "U"):
+        self.name = name
+        self.functions: dict[str, IRFunction] = {}
+        self.globals: dict[str, IRGlobal] = {}
+        self.externs: dict[str, ExternSig] = {}
+
+    def add_function(self, func: IRFunction) -> None:
+        if func.name in self.functions:
+            raise IRError(f"duplicate function {func.name!r}")
+        self.functions[func.name] = func
+
+    def __repr__(self) -> str:
+        parts = [f"module {self.name}"]
+        parts.extend(repr(g) for g in self.globals.values())
+        parts.extend(repr(f) for f in self.functions.values())
+        return "\n".join(parts)

@@ -1,0 +1,113 @@
+"""IR well-formedness checks (a compiler-internal sanity net).
+
+This is *not* ConfVerify (which checks emitted binaries); it catches
+bugs in lowering and optimization passes early:
+
+* every block ends with exactly one terminator, and only at the end;
+* branch targets exist;
+* virtual registers are defined before use on every path (approximated
+  by a forward dataflow over the CFG);
+* taint discipline: a ``Store`` never writes a PRIVATE-tainted source
+  into a PUBLIC region (the compile-time guarantee the qualifier
+  inference established — if an opt pass breaks it, we want to know
+  before codegen).
+"""
+
+from __future__ import annotations
+
+from ..errors import IRError
+from ..taint.lattice import PRIVATE, PUBLIC
+from .core import Block, Branch, IRFunction, IRModule, Instr, Jump, Ret, Store, VReg
+
+
+def verify_function(func: IRFunction) -> None:
+    if not func.blocks:
+        raise IRError(f"{func.name}: no blocks")
+    block_names = {b.name for b in func.blocks}
+    for block in func.blocks:
+        if not block.instrs:
+            raise IRError(f"{func.name}/{block.name}: empty block")
+        for instr in block.instrs[:-1]:
+            if instr.is_terminator:
+                raise IRError(
+                    f"{func.name}/{block.name}: terminator mid-block: {instr!r}"
+                )
+        if not block.terminator.is_terminator:
+            raise IRError(
+                f"{func.name}/{block.name}: missing terminator"
+            )
+        for target in block.successors():
+            if target not in block_names:
+                raise IRError(
+                    f"{func.name}/{block.name}: unknown target {target}"
+                )
+    _verify_defs_before_uses(func)
+    _verify_store_taints(func)
+
+
+def _verify_defs_before_uses(func: IRFunction) -> None:
+    # Forward may-analysis: set of vregs definitely defined at block entry.
+    defined_out: dict[str, set[int]] = {}
+    params = {v.id for v in func.param_vregs}
+    block_map = func.block_map()
+    preds: dict[str, list[str]] = {b.name: [] for b in func.blocks}
+    for block in func.blocks:
+        for succ in block.successors():
+            preds[succ].append(block.name)
+
+    changed = True
+    order = [b.name for b in func.blocks]
+    # Initialize optimistically to "all" so the intersection converges.
+    all_ids = params | {
+        d.id for b in func.blocks for i in b.instrs for d in i.defs()
+    }
+    for name in order:
+        defined_out[name] = set(all_ids)
+    entry = func.blocks[0].name
+    while changed:
+        changed = False
+        for name in order:
+            block = block_map[name]
+            if name == entry:
+                live_in = set(params)
+            else:
+                pred_list = preds[name]
+                if pred_list:
+                    live_in = set.intersection(
+                        *(defined_out[p] for p in pred_list)
+                    )
+                else:
+                    live_in = set(params)  # unreachable block; be lenient
+            defined = set(live_in)
+            for instr in block.instrs:
+                for use in instr.uses():
+                    if use.id not in defined:
+                        raise IRError(
+                            f"{func.name}/{name}: use of undefined {use!r} "
+                            f"in {instr!r}"
+                        )
+                for d in instr.defs():
+                    defined.add(d.id)
+            if defined != defined_out[name]:
+                defined_out[name] = defined
+                changed = True
+
+
+def _verify_store_taints(func: IRFunction) -> None:
+    for block in func.blocks:
+        for instr in block.instrs:
+            if isinstance(instr, Store):
+                if (
+                    isinstance(instr.src, VReg)
+                    and instr.src.taint is PRIVATE
+                    and instr.mem.region is PUBLIC
+                ):
+                    raise IRError(
+                        f"{func.name}/{block.name}: private value stored to "
+                        f"public region: {instr!r}"
+                    )
+
+
+def verify_module(module: IRModule) -> None:
+    for func in module.functions.values():
+        verify_function(func)

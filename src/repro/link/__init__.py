@@ -1,0 +1,19 @@
+"""Linker, loader, layout, and binary containers."""
+
+from .layout import CODE_BASE, NATIVE_BASE, MemoryLayout, make_layout
+from .linker import link
+from .loader import Process, load
+from .objfile import Binary, CompiledFunction, UObject
+
+__all__ = [
+    "link",
+    "load",
+    "Process",
+    "Binary",
+    "CompiledFunction",
+    "UObject",
+    "MemoryLayout",
+    "make_layout",
+    "CODE_BASE",
+    "NATIVE_BASE",
+]

@@ -1,0 +1,45 @@
+"""A small set-associative L1 data cache model (per core).
+
+The cache exists to reproduce the paper's *cache-pressure* effects —
+most visibly the OurMPX vs OurMPX-Sep gap in the NGINX experiment
+(Figure 6), which the authors attribute to "increased cache pressure
+from having separate stacks for private and public data".  Splitting
+one working set across two stacks doubles the number of hot lines, and
+this model charges for it the same way real hardware does.
+"""
+
+from __future__ import annotations
+
+LINE_BITS = 6  # 64-byte lines
+DEFAULT_SETS = 64  # 64 sets * 8 ways * 64 B = 32 KiB
+DEFAULT_WAYS = 8
+
+
+class L1Cache:
+    def __init__(self, n_sets: int = DEFAULT_SETS, n_ways: int = DEFAULT_WAYS):
+        self._n_sets = n_sets
+        self._n_ways = n_ways
+        self._sets: list[list[int]] = [[] for _ in range(n_sets)]
+        self.hits = 0
+        self.misses = 0
+
+    def access(self, addr: int) -> bool:
+        """Touch the line containing ``addr``; True on hit."""
+        line = addr >> LINE_BITS
+        index = line % self._n_sets
+        ways = self._sets[index]
+        try:
+            ways.remove(line)
+        except ValueError:
+            self.misses += 1
+            if len(ways) >= self._n_ways:
+                ways.pop(0)
+            ways.append(line)
+            return False
+        self.hits += 1
+        ways.append(line)
+        return True
+
+    def flush(self) -> None:
+        for ways in self._sets:
+            ways.clear()

@@ -1,0 +1,49 @@
+"""The cycle-cost model.
+
+Costs are deliberately simple — a base cost per instruction class plus
+a cache-miss penalty for data accesses — because the paper's overhead
+*shapes* come from instruction-count and cache effects, not from deep
+micro-architecture:
+
+* MPX checks cost real cycles per memory access (register-operand
+  checks cheaper than memory-operand checks, Section 5.1);
+* segment prefixes are effectively free (address-generation only),
+  which is why OurSeg beats OurMPX everywhere in Figure 5;
+* CFI sequences add a handful of cycles per return/indirect call
+  (average 3.62% on SPEC);
+* switching stacks to call into T costs tens of cycles (the
+  OurBare-Our1Mem gap in Figure 6);
+* separate public/private stacks cost nothing directly but increase
+  cache pressure (the OurMPX−OurMPX-Sep gap).
+"""
+
+from __future__ import annotations
+
+BASE_COST = {
+    "alu": 1,
+    "nop": 0,  # magic words: never executed on hot paths, data only
+    "mem": 1,
+    "branch": 1,
+    "call": 2,
+    "cfi": 3,  # pop/cmp-magic/jne folded sequence
+    "bndchk": 1,  # register-operand bound-check pair
+    "shadow": 4,  # shadow-stack compare (memory-based)
+    "jmptable": 1,  # + table load and indirect-branch extras at runtime
+}
+
+# Extra cost when a BndChk uses a full memory operand (the implicit lea
+# the paper observed makes these slower).
+BNDCHK_MEM_EXTRA = 1
+
+CACHE_MISS_PENALTY = 24
+CACHE_HIT_EXTRA = 0
+
+# Indirect transfers (returns via JmpReg, stub JmpInd) pay a branch-
+# predictor-ish extra over direct jumps.
+INDIRECT_JUMP_EXTRA = 1
+
+# Cost charged by a T wrapper for switching gs/rsp to T's stack and
+# back (configs with separate T/U memories), vs. a plain shared-stack
+# library call.
+T_SWITCH_COST = 48
+T_PLAIN_CALL_COST = 6

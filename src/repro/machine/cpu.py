@@ -1,0 +1,475 @@
+"""The virtual CPU: executes linked binaries with cycle accounting.
+
+The machine implements ConfISA exactly as the instrumentation expects:
+
+* memory operands compute ``seg + (base & 0xffffffff) + ...`` when the
+  32-bit segmentation addressing is in use, so fs/gs-prefixed accesses
+  physically cannot escape their segment (Section 3);
+* MPX bound checks compare against the ``bnd0``/``bnd1`` ranges the
+  loader installed and fault on violation;
+* CFI checks read *code as data*: ``CheckMagic`` fetches the 64-bit
+  encoding of the word at the target address and compares it with the
+  (re-negated) expected magic value (Section 4);
+* unmapped accesses fault — guard areas are simply unmapped.
+
+Multi-threading is round-robin over a fixed number of cores with
+per-core cycle counters and per-core L1 caches; simulated wall-clock
+time is the maximum core time.
+"""
+
+from __future__ import annotations
+
+from ..arith import MASK64, eval_bin, eval_un
+from ..backend import isa, regs
+from ..errors import (
+    FAULT_BOUNDS,
+    FAULT_CFI,
+    FAULT_CHKSTK,
+    FAULT_EXEC,
+    FAULT_UNMAPPED,
+    MachineFault,
+)
+from ..link.layout import CODE_BASE, NATIVE_BASE, THREAD_STACK_SIZE
+from . import costs
+from .cache import L1Cache
+from .memory import Memory
+
+MASK32 = 0xFFFFFFFF
+
+
+class Thread:
+    __slots__ = (
+        "tid",
+        "regs",
+        "pc",
+        "alive",
+        "core",
+        "shadow",
+        "pub_stack",
+        "priv_stack",
+        "waiting_on",
+        "ready_time",
+        "finish_time",
+    )
+
+    def __init__(self, tid: int, core: int):
+        self.tid = tid
+        self.regs = [0] * regs.NUM_GPRS
+        self.pc = 0
+        self.alive = True
+        self.core = core
+        self.shadow: list[int] = []
+        self.pub_stack = (0, 0)
+        self.priv_stack = (0, 0)
+        # tid of a thread this one is blocked joining on (consumes no
+        # core cycles while set).
+        self.waiting_on: int | None = None
+        # Virtual-time bookkeeping: a thread cannot execute before it
+        # was spawned, and a joiner resumes no earlier than the target
+        # finished.
+        self.ready_time = 0
+        self.finish_time = 0
+
+
+class Stats:
+    __slots__ = (
+        "instructions",
+        "bnd_checks",
+        "cfi_checks",
+        "calls",
+        "t_calls",
+        "loads",
+        "stores",
+    )
+
+    def __init__(self):
+        self.instructions = 0
+        self.bnd_checks = 0
+        self.cfi_checks = 0
+        self.calls = 0
+        self.t_calls = 0
+        self.loads = 0
+        self.stores = 0
+
+
+class Machine:
+    def __init__(self, binary, natives, n_cores: int = 4):
+        self.binary = binary
+        self.config = binary.config
+        self.layout = binary.layout
+        self.code = binary.code
+        self.natives = natives  # list of callables(machine, thread)
+        self.mem = Memory()
+        self.n_cores = n_cores
+        self.caches = [L1Cache() for _ in range(n_cores)]
+        self.core_cycles = [0] * n_cores
+        self.threads: list[Thread] = []
+        self.stats = Stats()
+        self.exit_code: int | None = None
+        # Architectural state installed by the loader:
+        self.fs_base = 0
+        self.gs_base = 0
+        self.bnd = [(0, 0), (0, 0)]  # bnd0 (public), bnd1 (private)
+        self._next_tid = 0
+        self._dispatch = {
+            isa.MagicWord: self._i_magic,
+            isa.MovRI: self._i_mov_ri,
+            isa.MovRR: self._i_mov_rr,
+            isa.MovFuncAddr: self._i_mov_fa,
+            isa.Alu: self._i_alu,
+            isa.SetCC: self._i_setcc,
+            isa.Load: self._i_load,
+            isa.Store: self._i_store,
+            isa.Lea: self._i_lea,
+            isa.Push: self._i_push,
+            isa.Pop: self._i_pop,
+            isa.Jmp: self._i_jmp,
+            isa.JmpTable: self._i_jmp_table,
+            isa.Br: self._i_br,
+            isa.CallD: self._i_call_d,
+            isa.CallI: self._i_call_i,
+            isa.RetPlain: self._i_ret,
+            isa.JmpInd: self._i_jmp_ind,
+            isa.JmpReg: self._i_jmp_reg,
+            isa.CheckMagic: self._i_check_magic,
+            isa.BndChk: self._i_bndchk,
+            isa.ChkStk: self._i_chkstk,
+            isa.TlsBase: self._i_tlsbase,
+            isa.ShadowPush: self._i_shadow_push,
+            isa.ShadowPop: self._i_shadow_pop,
+            isa.Halt: self._i_halt,
+            isa.Fail: self._i_fail,
+        }
+
+    # ------------------------------------------------------------------
+    # Thread management
+
+    def spawn(self, pc: int, stack_slot: int | None = None) -> Thread:
+        tid = self._next_tid
+        self._next_tid += 1
+        slot = stack_slot if stack_slot is not None else tid
+        thread = Thread(tid, core=tid % self.n_cores)
+        thread.pc = pc
+        pub_lo, pub_hi = self.layout.stack_range(False, slot)
+        thread.pub_stack = (pub_lo, pub_hi)
+        if self.layout.private is not None:
+            thread.priv_stack = self.layout.stack_range(True, slot)
+        # Leave headroom and keep 16-byte alignment.
+        thread.regs[regs.RSP] = pub_hi - 64
+        self.threads.append(thread)
+        return thread
+
+    @property
+    def wall_cycles(self) -> int:
+        return max(self.core_cycles)
+
+    @property
+    def total_cycles(self) -> int:
+        return sum(self.core_cycles)
+
+    # ------------------------------------------------------------------
+    # Execution
+
+    def run(self, max_instructions: int = 500_000_000) -> int:
+        """Run until every thread halts; returns main's exit code."""
+        budget = max_instructions
+        quantum = 64
+        while True:
+            alive = [t for t in self.threads if t.alive]
+            if not alive:
+                break
+            runnable = []
+            for thread in alive:
+                if thread.waiting_on is not None:
+                    target = next(
+                        (t for t in self.threads if t.tid == thread.waiting_on),
+                        None,
+                    )
+                    if target is not None and target.alive:
+                        continue  # blocked: burns no cycles
+                    thread.waiting_on = None
+                    if target is not None:
+                        # Resume no earlier than the join target ended.
+                        core = thread.core
+                        self.core_cycles[core] = max(
+                            self.core_cycles[core], target.finish_time
+                        )
+                # A core idles until the thread it hosts is spawned.
+                if self.core_cycles[thread.core] < thread.ready_time:
+                    self.core_cycles[thread.core] = thread.ready_time
+                runnable.append(thread)
+            if not runnable:
+                raise MachineFault("deadlock", "all live threads blocked")
+            for thread in runnable:
+                if not thread.alive:
+                    continue
+                for _ in range(quantum):
+                    if not thread.alive:
+                        break
+                    self._step(thread)
+                    budget -= 1
+                    if budget <= 0:
+                        raise MachineFault(
+                            "instruction-budget-exhausted",
+                            f"exceeded {max_instructions} instructions",
+                        )
+        return self.exit_code if self.exit_code is not None else 0
+
+    def _step(self, thread: Thread) -> None:
+        try:
+            insn = self.code[thread.pc]
+        except IndexError:
+            raise MachineFault(FAULT_EXEC, f"pc out of code: {thread.pc}")
+        self.stats.instructions += 1
+        self.core_cycles[thread.core] += costs.BASE_COST[insn.cost_class]
+        self._dispatch[type(insn)](thread, insn)
+
+    def charge(self, thread: Thread, cycles: int) -> None:
+        self.core_cycles[thread.core] += cycles
+
+    # ------------------------------------------------------------------
+    # Operand helpers
+
+    def _val(self, thread: Thread, operand) -> int:
+        if isinstance(operand, isa.Imm):
+            return operand.value & MASK64
+        return thread.regs[operand]
+
+    def effective_address(self, thread: Thread, mem: isa.Mem) -> int:
+        if mem.abs is not None:
+            addr = mem.abs + mem.disp
+            if mem.index is not None:
+                index = thread.regs[mem.index]
+                if mem.use32:
+                    index &= MASK32
+                addr += index * mem.scale
+        else:
+            base = thread.regs[mem.base]
+            if mem.use32:
+                base &= MASK32
+            addr = base + mem.disp
+            if mem.index is not None:
+                index = thread.regs[mem.index]
+                if mem.use32:
+                    index &= MASK32
+                addr += index * mem.scale
+        if mem.seg == isa.SEG_FS:
+            addr += self.fs_base
+        elif mem.seg == isa.SEG_GS:
+            addr += self.gs_base
+        return addr & MASK64
+
+    def _touch(self, thread: Thread, addr: int) -> None:
+        cache = self.caches[thread.core]
+        if not cache.access(addr):
+            self.core_cycles[thread.core] += costs.CACHE_MISS_PENALTY
+
+    def read_data(self, thread: Thread, addr: int, size: int) -> int:
+        if addr >= CODE_BASE:
+            return self.read_code_word(addr)
+        self._touch(thread, addr)
+        return self.mem.read_int(addr, size)
+
+    def write_data(self, thread: Thread, addr: int, size: int, value: int):
+        if addr >= CODE_BASE:
+            raise MachineFault(FAULT_UNMAPPED, "write to code space", addr=addr)
+        self._touch(thread, addr)
+        self.mem.write_int(addr, size, value)
+
+    def read_code_word(self, addr: int) -> int:
+        index = addr - CODE_BASE
+        if 0 <= index < len(self.code):
+            return self.code[index].encoding()
+        raise MachineFault(FAULT_UNMAPPED, "code read out of range", addr=addr)
+
+    # ------------------------------------------------------------------
+    # Instruction semantics
+
+    def _i_magic(self, t, insn):
+        t.pc += 1
+
+    def _i_mov_ri(self, t, insn):
+        t.regs[insn.dst] = insn.imm & MASK64
+        t.pc += 1
+
+    def _i_mov_rr(self, t, insn):
+        t.regs[insn.dst] = t.regs[insn.src]
+        t.pc += 1
+
+    def _i_mov_fa(self, t, insn):
+        t.regs[insn.dst] = insn.value & MASK64
+        t.pc += 1
+
+    def _i_alu(self, t, insn):
+        a = self._val(t, insn.a)
+        if insn.op in ("neg", "not"):
+            t.regs[insn.dst] = eval_un(insn.op, a)
+        else:
+            t.regs[insn.dst] = eval_bin(insn.op, a, self._val(t, insn.b))
+        t.pc += 1
+
+    def _i_setcc(self, t, insn):
+        t.regs[insn.dst] = eval_bin(
+            insn.op, self._val(t, insn.a), self._val(t, insn.b)
+        )
+        t.pc += 1
+
+    def _i_load(self, t, insn):
+        addr = self.effective_address(t, insn.mem)
+        t.regs[insn.dst] = self.read_data(t, addr, insn.size)
+        self.stats.loads += 1
+        t.pc += 1
+
+    def _i_store(self, t, insn):
+        addr = self.effective_address(t, insn.mem)
+        self.write_data(t, addr, insn.size, self._val(t, insn.src))
+        self.stats.stores += 1
+        t.pc += 1
+
+    def _i_lea(self, t, insn):
+        t.regs[insn.dst] = self.effective_address(t, insn.mem)
+        t.pc += 1
+
+    def _i_push(self, t, insn):
+        rsp = (t.regs[regs.RSP] - 8) & MASK64
+        t.regs[regs.RSP] = rsp
+        self.write_data(t, rsp, 8, self._val(t, insn.src))
+        t.pc += 1
+
+    def _i_pop(self, t, insn):
+        rsp = t.regs[regs.RSP]
+        t.regs[insn.dst] = self.read_data(t, rsp, 8)
+        t.regs[regs.RSP] = (rsp + 8) & MASK64
+        t.pc += 1
+
+    def _i_jmp(self, t, insn):
+        t.pc = insn.addr
+
+    def _i_jmp_table(self, t, insn):
+        from ..arith import signed
+
+        index = signed(t.regs[insn.reg]) - insn.base
+        if not (0 <= index < len(insn.addrs)):
+            raise MachineFault(FAULT_EXEC, "jump-table index out of range")
+        # Table load + indirect branch.
+        self.core_cycles[t.core] += 1 + costs.INDIRECT_JUMP_EXTRA
+        t.pc = insn.addrs[index]
+
+    def _i_br(self, t, insn):
+        taken = eval_bin(insn.op, self._val(t, insn.a), self._val(t, insn.b))
+        t.pc = insn.addr if taken else t.pc + 1
+
+    def _i_call_d(self, t, insn):
+        self.stats.calls += 1
+        retaddr = CODE_BASE + t.pc + 1
+        rsp = (t.regs[regs.RSP] - 8) & MASK64
+        t.regs[regs.RSP] = rsp
+        self.write_data(t, rsp, 8, retaddr)
+        t.pc = insn.addr
+
+    def _i_call_i(self, t, insn):
+        self.stats.calls += 1
+        target = t.regs[insn.reg]
+        if not (CODE_BASE <= target < CODE_BASE + len(self.code)):
+            raise MachineFault(FAULT_EXEC, "indirect call outside code",
+                               addr=target)
+        retaddr = CODE_BASE + t.pc + 1
+        rsp = (t.regs[regs.RSP] - 8) & MASK64
+        t.regs[regs.RSP] = rsp
+        self.write_data(t, rsp, 8, retaddr)
+        t.pc = target - CODE_BASE
+
+    def _i_ret(self, t, insn):
+        rsp = t.regs[regs.RSP]
+        target = self.read_data(t, rsp, 8)
+        t.regs[regs.RSP] = (rsp + 8) & MASK64
+        if not (CODE_BASE <= target < CODE_BASE + len(self.code)):
+            raise MachineFault(FAULT_EXEC, "return outside code", addr=target)
+        t.pc = target - CODE_BASE
+
+    def _i_jmp_ind(self, t, insn):
+        addr = self.effective_address(t, insn.mem)
+        target = self.read_data(t, addr, 8)
+        self.core_cycles[t.core] += costs.INDIRECT_JUMP_EXTRA
+        if target >= NATIVE_BASE:
+            self._native(t, target - NATIVE_BASE)
+            return
+        if CODE_BASE <= target < CODE_BASE + len(self.code):
+            t.pc = target - CODE_BASE
+            return
+        raise MachineFault(FAULT_EXEC, "indirect jump target", addr=target)
+
+    def _i_jmp_reg(self, t, insn):
+        target = t.regs[insn.reg] + insn.skip
+        self.core_cycles[t.core] += costs.INDIRECT_JUMP_EXTRA
+        if not (CODE_BASE <= target <= CODE_BASE + len(self.code)):
+            raise MachineFault(FAULT_EXEC, "jump outside code", addr=target)
+        t.pc = target - CODE_BASE
+
+    def _i_check_magic(self, t, insn):
+        self.stats.cfi_checks += 1
+        target = t.regs[insn.reg]
+        word = self.read_code_word(target)  # faults if not code
+        expected = ~insn.inv_value & MASK64
+        if word != expected:
+            raise MachineFault(
+                FAULT_CFI,
+                f"magic mismatch at target (kind={insn.kind})",
+                addr=target,
+            )
+        t.pc += 1
+
+    def _i_bndchk(self, t, insn):
+        self.stats.bnd_checks += 1
+        if insn.mem is not None:
+            addr = self.effective_address(t, insn.mem)
+            self.core_cycles[t.core] += costs.BNDCHK_MEM_EXTRA
+        else:
+            addr = t.regs[insn.reg]
+        lo, hi = self.bnd[insn.bnd]
+        if not (lo <= addr < hi):
+            raise MachineFault(
+                FAULT_BOUNDS,
+                f"bnd{insn.bnd} violation [{lo:#x},{hi:#x})",
+                addr=addr,
+            )
+        t.pc += 1
+
+    def _i_chkstk(self, t, insn):
+        rsp = t.regs[regs.RSP]
+        lo, hi = t.pub_stack
+        if not (lo <= rsp <= hi):
+            raise MachineFault(FAULT_CHKSTK, "rsp escaped its stack", addr=rsp)
+        t.pc += 1
+
+    def _i_tlsbase(self, t, insn):
+        t.regs[insn.dst] = t.regs[regs.RSP] & ~(THREAD_STACK_SIZE - 1)
+        t.pc += 1
+
+    def _i_shadow_push(self, t, insn):
+        t.shadow.append(self.read_data(t, t.regs[regs.RSP], 8))
+        t.pc += 1
+
+    def _i_shadow_pop(self, t, insn):
+        actual = self.read_data(t, t.regs[regs.RSP], 8)
+        if not t.shadow or t.shadow.pop() != actual:
+            raise MachineFault(FAULT_CFI, "shadow stack mismatch")
+        t.pc += 1
+
+    def _i_halt(self, t, insn):
+        t.alive = False
+        t.finish_time = self.core_cycles[t.core]
+        if t.tid == 0:
+            self.exit_code = t.regs[regs.RAX]
+
+    def _i_fail(self, t, insn):
+        raise MachineFault(FAULT_CFI, "__debugbreak reached")
+
+    # ------------------------------------------------------------------
+    # Trusted dispatch
+
+    def _native(self, t: Thread, index: int) -> None:
+        self.stats.t_calls += 1
+        if not (0 <= index < len(self.natives)):
+            raise MachineFault(FAULT_EXEC, f"bad native index {index}")
+        self.natives[index](self, t)

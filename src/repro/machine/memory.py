@@ -1,0 +1,108 @@
+"""Paged virtual memory with permissions and guard (unmapped) areas.
+
+Mapping is page-granular; anything not explicitly mapped faults on
+access — that is what makes the segmentation scheme's guard areas and
+the MPX layout's guard zones real: an access that escapes its region
+lands on an unmapped page and the machine faults, exactly like the
+paper's unmapped-guard-page design.
+"""
+
+from __future__ import annotations
+
+from ..errors import FAULT_PERM, FAULT_UNMAPPED, MachineFault
+
+PAGE_SIZE = 4096
+PAGE_MASK = PAGE_SIZE - 1
+
+
+class Memory:
+    def __init__(self) -> None:
+        self._pages: dict[int, bytearray] = {}
+        self._read_only: list[tuple[int, int]] = []
+
+    # -- mapping --------------------------------------------------------
+
+    def map_range(self, lo: int, hi: int) -> None:
+        """Map [lo, hi) (page-rounded) as zero-filled RW memory."""
+        first = lo & ~PAGE_MASK
+        last = (hi + PAGE_MASK) & ~PAGE_MASK
+        for base in range(first, last, PAGE_SIZE):
+            if base not in self._pages:
+                self._pages[base] = bytearray(PAGE_SIZE)
+
+    def protect_read_only(self, lo: int, hi: int) -> None:
+        self._read_only.append((lo, hi))
+
+    def is_mapped(self, addr: int, size: int = 1) -> bool:
+        first = addr & ~PAGE_MASK
+        last = (addr + size - 1) & ~PAGE_MASK
+        for base in range(first, last + 1, PAGE_SIZE):
+            if base not in self._pages:
+                return False
+        return True
+
+    # -- access ---------------------------------------------------------
+
+    def read_int(self, addr: int, size: int) -> int:
+        page = self._pages.get(addr & ~PAGE_MASK)
+        offset = addr & PAGE_MASK
+        if page is not None and offset + size <= PAGE_SIZE:
+            return int.from_bytes(page[offset : offset + size], "little")
+        return int.from_bytes(self.read_bytes(addr, size), "little")
+
+    def write_int(self, addr: int, size: int, value: int) -> None:
+        self._check_writable(addr, size)
+        page = self._pages.get(addr & ~PAGE_MASK)
+        offset = addr & PAGE_MASK
+        data = (value & ((1 << (8 * size)) - 1)).to_bytes(size, "little")
+        if page is not None and offset + size <= PAGE_SIZE:
+            page[offset : offset + size] = data
+            return
+        self._write_bytes_unchecked(addr, data)
+
+    def read_bytes(self, addr: int, size: int) -> bytes:
+        out = bytearray()
+        remaining = size
+        cursor = addr
+        while remaining > 0:
+            page = self._pages.get(cursor & ~PAGE_MASK)
+            if page is None:
+                raise MachineFault(FAULT_UNMAPPED, f"read {size}B", addr=cursor)
+            offset = cursor & PAGE_MASK
+            chunk = min(remaining, PAGE_SIZE - offset)
+            out += page[offset : offset + chunk]
+            cursor += chunk
+            remaining -= chunk
+        return bytes(out)
+
+    def write_bytes(self, addr: int, data: bytes) -> None:
+        self._check_writable(addr, len(data))
+        self._write_bytes_unchecked(addr, data)
+
+    def write_bytes_unprotected(self, addr: int, data: bytes) -> None:
+        """Loader-only: write ignoring read-only protections."""
+        self._write_bytes_unchecked(addr, data)
+
+    def _write_bytes_unchecked(self, addr: int, data: bytes) -> None:
+        remaining = len(data)
+        cursor = addr
+        index = 0
+        while remaining > 0:
+            page = self._pages.get(cursor & ~PAGE_MASK)
+            if page is None:
+                raise MachineFault(
+                    FAULT_UNMAPPED, f"write {len(data)}B", addr=cursor
+                )
+            offset = cursor & PAGE_MASK
+            chunk = min(remaining, PAGE_SIZE - offset)
+            page[offset : offset + chunk] = data[index : index + chunk]
+            cursor += chunk
+            index += chunk
+            remaining -= chunk
+
+    def _check_writable(self, addr: int, size: int) -> None:
+        for lo, hi in self._read_only:
+            if addr < hi and addr + size > lo:
+                raise MachineFault(
+                    FAULT_PERM, "write to read-only memory", addr=addr
+                )

@@ -1,0 +1,37 @@
+"""MiniC: the C subset with ``private`` qualifiers that U code is written in."""
+
+from .lexer import tokenize
+from .parser import parse
+from .sema import CheckedProgram, FunctionInfo, GlobalInfo, LocalSymbol, analyze
+from .types import (
+    CHAR,
+    INT,
+    VOID,
+    ArrayType,
+    FuncType,
+    IntType,
+    PointerType,
+    StructType,
+    Type,
+    VoidType,
+)
+
+__all__ = [
+    "tokenize",
+    "parse",
+    "analyze",
+    "CheckedProgram",
+    "FunctionInfo",
+    "GlobalInfo",
+    "LocalSymbol",
+    "Type",
+    "IntType",
+    "PointerType",
+    "ArrayType",
+    "StructType",
+    "FuncType",
+    "VoidType",
+    "INT",
+    "CHAR",
+    "VOID",
+]

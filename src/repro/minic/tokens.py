@@ -1,0 +1,117 @@
+"""Token definitions for the MiniC language.
+
+MiniC is the C subset this reproduction compiles: it keeps every
+feature the ConfLLVM scheme must defend against (pointers, casts,
+address-of, arrays, structs, function pointers, varargs) and adds the
+``private`` type qualifier from the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import SourceLocation
+
+KEYWORDS = frozenset(
+    {
+        "int",
+        "char",
+        "void",
+        "struct",
+        "private",
+        "if",
+        "else",
+        "while",
+        "for",
+        "return",
+        "break",
+        "continue",
+        "sizeof",
+        "extern",
+        "trusted",
+        "switch",
+        "case",
+        "default",
+    }
+)
+
+# Multi-character punctuators first so the lexer can do longest-match.
+PUNCTUATORS = (
+    "<<=",
+    ">>=",
+    "...",
+    "->",
+    "<<",
+    ">>",
+    "<=",
+    ">=",
+    "==",
+    "!=",
+    "&&",
+    "||",
+    "+=",
+    "-=",
+    "*=",
+    "/=",
+    "%=",
+    "&=",
+    "|=",
+    "^=",
+    "++",
+    "--",
+    "+",
+    "-",
+    "*",
+    "/",
+    "%",
+    "&",
+    "|",
+    "^",
+    "~",
+    "!",
+    "<",
+    ">",
+    "=",
+    "(",
+    ")",
+    "{",
+    "}",
+    "[",
+    "]",
+    ";",
+    ",",
+    ".",
+    ":",
+)
+
+TK_IDENT = "ident"
+TK_KEYWORD = "keyword"
+TK_INT = "int_lit"
+TK_CHAR = "char_lit"
+TK_STRING = "string_lit"
+TK_PUNCT = "punct"
+TK_EOF = "eof"
+
+
+@dataclass(frozen=True)
+class Token:
+    """A single lexical token.
+
+    ``kind`` is one of the ``TK_*`` constants; ``text`` is the lexeme
+    (for keywords and punctuators, the spelling itself); ``value``
+    carries the decoded literal for int/char/string tokens.
+    """
+
+    kind: str
+    text: str
+    loc: SourceLocation
+    value: int | bytes | None = None
+
+    def is_punct(self, spelling: str) -> bool:
+        return self.kind == TK_PUNCT and self.text == spelling
+
+    def is_keyword(self, word: str) -> bool:
+        return self.kind == TK_KEYWORD and self.text == word
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Token({self.kind}, {self.text!r}, {self.loc})"

@@ -1,0 +1,13 @@
+"""IR optimization passes and the pass manager."""
+
+from .passes import copyprop_and_fold, cse_local, dce, promote_slots, simplify_cfg
+from .pipeline import optimize_module
+
+__all__ = [
+    "optimize_module",
+    "promote_slots",
+    "copyprop_and_fold",
+    "dce",
+    "simplify_cfg",
+    "cse_local",
+]

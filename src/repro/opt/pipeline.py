@@ -1,0 +1,46 @@
+"""Pass manager.
+
+Two pipelines mirror the paper's compiler configurations:
+
+* ``vanilla`` — everything, including the passes ConfLLVM does not
+  support (used for the ``Base``/``BaseOA`` configurations);
+* ``confllvm`` — only the taint-metadata-preserving passes (everything
+  that runs under the Our* configurations).
+"""
+
+from __future__ import annotations
+
+from ..ir.core import IRModule
+from ..ir.verify import verify_module
+from .passes import copyprop_and_fold, cse_local, dce, promote_slots, simplify_cfg
+
+MAX_ITERATIONS = 8
+
+
+def optimize_module(
+    module: IRModule,
+    pipeline: str = "confllvm",
+    level: int = 2,
+    verify: bool = True,
+) -> IRModule:
+    """Optimize a module in place and return it.
+
+    ``level`` 0 skips everything (the O0 escape hatch the paper uses
+    for the two Privado files its O2 bug affects).
+    """
+    if level == 0:
+        return module
+    run_unsupported = pipeline == "vanilla"
+    for func in module.functions.values():
+        promote_slots(func)
+        for _ in range(MAX_ITERATIONS):
+            changed = copyprop_and_fold(func)
+            changed |= dce(func)
+            changed |= simplify_cfg(func)
+            if run_unsupported:
+                changed |= cse_local(func)
+            if not changed:
+                break
+    if verify:
+        verify_module(module)
+    return module

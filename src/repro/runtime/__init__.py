@@ -1,0 +1,12 @@
+"""The trusted runtime T: allocators, channels, wrappers."""
+
+from .alloc import NativeAllocator, RegionAllocator
+from .trusted import T_PROTOTYPES, Channel, TrustedRuntime
+
+__all__ = [
+    "TrustedRuntime",
+    "Channel",
+    "T_PROTOTYPES",
+    "RegionAllocator",
+    "NativeAllocator",
+]

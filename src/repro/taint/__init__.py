@@ -1,0 +1,19 @@
+"""Taint lattice, inference variables, and the constraint solver."""
+
+from .lattice import PRIVATE, PUBLIC, Taint, TaintTerm, TaintVar, is_concrete, join, leq
+from .solve import Constraint, ConstraintSet, Solution, solve
+
+__all__ = [
+    "Taint",
+    "TaintVar",
+    "TaintTerm",
+    "PUBLIC",
+    "PRIVATE",
+    "join",
+    "leq",
+    "is_concrete",
+    "Constraint",
+    "ConstraintSet",
+    "Solution",
+    "solve",
+]

@@ -1,0 +1,72 @@
+"""The two-point taint lattice (public ⊑ private) and inference terms.
+
+The paper uses the classic information-flow lattice with two levels:
+``L`` (public) and ``H`` (private), with ``L ⊑ H``.  Qualifier inference
+(Section 5.1, following Foster et al.'s type qualifiers) introduces
+*taint variables* for unannotated positions and solves subtyping
+constraints over them; :mod:`repro.taint.solve` implements the solver.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+
+
+class Taint(enum.IntEnum):
+    """A concrete taint level.  ``PUBLIC < PRIVATE`` so ``max`` is join."""
+
+    PUBLIC = 0
+    PRIVATE = 1
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "PRIVATE" if self is Taint.PRIVATE else "PUBLIC"
+
+    @property
+    def bit(self) -> int:
+        """The single-bit encoding used in CFI magic sequences."""
+        return int(self)
+
+
+PUBLIC = Taint.PUBLIC
+PRIVATE = Taint.PRIVATE
+
+
+def join(a: Taint, b: Taint) -> Taint:
+    """Least upper bound of two taints."""
+    return Taint(max(int(a), int(b)))
+
+
+def leq(a: Taint, b: Taint) -> bool:
+    """True iff ``a ⊑ b`` in the lattice."""
+    return int(a) <= int(b)
+
+
+_fresh_counter = itertools.count()
+
+
+class TaintVar:
+    """An inference variable standing for an unknown taint level.
+
+    Instances are compared by identity; ``name`` exists only for
+    diagnostics (it usually records the declaration the variable
+    qualifies, e.g. ``"local passwd"``).
+    """
+
+    __slots__ = ("name", "uid")
+
+    def __init__(self, name: str = ""):
+        self.uid = next(_fresh_counter)
+        self.name = name
+
+    def __repr__(self) -> str:
+        label = self.name or "t"
+        return f"?{label}.{self.uid}"
+
+
+# A taint *term* is either a concrete Taint or a TaintVar.
+TaintTerm = Taint | TaintVar
+
+
+def is_concrete(term: TaintTerm) -> bool:
+    return isinstance(term, Taint)

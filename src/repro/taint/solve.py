@@ -1,0 +1,135 @@
+"""Worklist solver for taint-qualifier subtyping constraints.
+
+ConfLLVM solves the subtyping constraints produced by qualifier
+inference with an SMT solver (Z3).  Because the qualifier lattice has
+exactly two points, the constraint system is equivalent to Horn clauses
+over booleans and a least-fixed-point worklist solver is complete for
+it; that is what we implement here.
+
+The solver computes the *least* solution: every variable starts at
+``PUBLIC`` and is raised to ``PRIVATE`` only when forced.  After the
+fixed point is reached, any constraint of the form ``PRIVATE ⊑ PUBLIC``
+(through constants or pinned variables) is reported as a
+:class:`~repro.errors.TaintError` carrying the constraint's source
+location and reason — this is the compile-time leak diagnostic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import SourceLocation, TaintError
+from .lattice import PRIVATE, PUBLIC, Taint, TaintTerm, TaintVar
+
+
+@dataclass(frozen=True)
+class Constraint:
+    """A subtyping constraint ``lo ⊑ hi`` with provenance for errors."""
+
+    lo: TaintTerm
+    hi: TaintTerm
+    reason: str = ""
+    loc: SourceLocation | None = None
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.lo!r} <= {self.hi!r} ({self.reason})"
+
+
+@dataclass
+class ConstraintSet:
+    """Accumulates constraints during semantic analysis."""
+
+    constraints: list[Constraint] = field(default_factory=list)
+
+    def add_le(
+        self,
+        lo: TaintTerm,
+        hi: TaintTerm,
+        reason: str = "",
+        loc: SourceLocation | None = None,
+    ) -> None:
+        """Require ``lo ⊑ hi`` (a data flow from lo into hi)."""
+        self.constraints.append(Constraint(lo, hi, reason, loc))
+
+    def add_eq(
+        self,
+        a: TaintTerm,
+        b: TaintTerm,
+        reason: str = "",
+        loc: SourceLocation | None = None,
+    ) -> None:
+        """Require ``a = b`` (pointer pointee invariance)."""
+        self.add_le(a, b, reason, loc)
+        self.add_le(b, a, reason, loc)
+
+    def __len__(self) -> int:
+        return len(self.constraints)
+
+
+class Solution:
+    """A satisfying assignment mapping every TaintVar to a Taint."""
+
+    def __init__(self, assignment: dict[TaintVar, Taint]):
+        self._assignment = assignment
+
+    def resolve(self, term: TaintTerm) -> Taint:
+        """Concretize a taint term under this solution.
+
+        Variables that never appeared in any constraint default to
+        PUBLIC (the least level), matching the solver's least-solution
+        semantics.
+        """
+        if isinstance(term, Taint):
+            return term
+        return self._assignment.get(term, PUBLIC)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        n_priv = sum(1 for v in self._assignment.values() if v is PRIVATE)
+        return f"<Solution {len(self._assignment)} vars, {n_priv} private>"
+
+
+def solve(cs: ConstraintSet) -> Solution:
+    """Solve a constraint set, returning the least solution.
+
+    Raises
+    ------
+    TaintError
+        If no solution exists, i.e. some constraint chain forces
+        ``PRIVATE ⊑ PUBLIC``.  The error carries the location of the
+        first violated constraint.
+    """
+    value: dict[TaintVar, Taint] = {}
+    # Map each variable to the constraints in which it is the lower side,
+    # so that raising it re-checks only those constraints.
+    dependents: dict[TaintVar, list[Constraint]] = {}
+    for c in cs.constraints:
+        if isinstance(c.lo, TaintVar):
+            dependents.setdefault(c.lo, []).append(c)
+            value.setdefault(c.lo, PUBLIC)
+        if isinstance(c.hi, TaintVar):
+            value.setdefault(c.hi, PUBLIC)
+
+    def current(term: TaintTerm) -> Taint:
+        if isinstance(term, Taint):
+            return term
+        return value.get(term, PUBLIC)
+
+    worklist = list(cs.constraints)
+    while worklist:
+        c = worklist.pop()
+        if current(c.lo) is PRIVATE and current(c.hi) is PUBLIC:
+            if isinstance(c.hi, TaintVar):
+                value[c.hi] = PRIVATE
+                worklist.extend(dependents.get(c.hi, ()))
+            # If hi is the constant PUBLIC the constraint is violated;
+            # defer the error to the final validation pass so we report
+            # against the fully-raised assignment.
+
+    for c in cs.constraints:
+        if current(c.lo) is PRIVATE and current(c.hi) is PUBLIC:
+            raise TaintError(
+                "private data flows into a public position"
+                + (f" ({c.reason})" if c.reason else ""),
+                c.loc,
+            )
+    return Solution(value)

@@ -1,0 +1,181 @@
+"""Application-level tests: webserver, dirserver, classifier, merklefs,
+SPEC kernels."""
+
+import struct
+
+import pytest
+
+from repro import BASE, OUR_MPX, OUR_SEG, TrustedRuntime, compile_and_load
+from repro.apps.classifier import CLASSIFIER_SRC, make_image
+from repro.apps.dirserver import DIRSERVER_SRC, QUIT_QUERY, make_query
+from repro.apps.merklefs import merklefs_source
+from repro.apps.spec import SPEC_NAMES, kernel_source
+from repro.apps.webserver import QUIT_REQUEST, WEBSERVER_SRC, make_request
+
+
+class TestWebserver:
+    def serve(self, config, files, requests):
+        runtime = TrustedRuntime()
+        for name, data in files.items():
+            runtime.add_file(name, data)
+        for req in requests:
+            runtime.channel(0).feed(make_request(req))
+        runtime.channel(0).feed(QUIT_REQUEST)
+        process = compile_and_load(WEBSERVER_SRC, config, runtime=runtime)
+        served = process.run()
+        return served, runtime
+
+    def decrypt_responses(self, runtime, sizes):
+        # Each ssl_send encrypts its whole record with a fresh
+        # keystream, so records decrypt independently.
+        wire = runtime.channel(1).drain_out()
+        responses = []
+        cursor = 0
+        for size in sizes:
+            record = wire[cursor : cursor + 16 + size]
+            plain = runtime.encrypt_with(runtime.session_key, record)
+            length = int.from_bytes(plain[8:16], "little")
+            responses.append((plain[:2], length, plain[16 : 16 + length]))
+            cursor += 16 + length
+        return responses
+
+    def test_serves_files_correctly(self):
+        files = {"fileAAAA": b"A" * 512, "fileBBBB": b"B" * 2048}
+        served, runtime = self.serve(
+            OUR_MPX, files, ["fileAAAA", "fileBBBB", "fileAAAA"]
+        )
+        assert served == 3
+        responses = self.decrypt_responses(runtime, [512, 2048, 512])
+        assert responses[0] == (b"OK", 512, b"A" * 512)
+        assert responses[1] == (b"OK", 2048, b"B" * 2048)
+
+    def test_missing_file_gives_empty_response(self):
+        served, runtime = self.serve(OUR_MPX, {}, ["nosuchfi"])
+        assert served == 1
+        responses = self.decrypt_responses(runtime, [0])
+        assert responses[0][1] == 0
+
+    def test_log_contains_encrypted_uris_only(self):
+        files = {"secretfl": b"S" * 128}
+        _, runtime = self.serve(OUR_MPX, files, ["secretfl"])
+        log = bytes(runtime.log)
+        assert b"secretfl" not in log  # URI never appears in clear
+        enc = runtime.encrypt_with(runtime.log_key, b"secretfl")
+        assert enc[:8] in log  # but its encryption does
+
+    def test_base_and_confllvm_agree(self):
+        files = {"fileAAAA": b"xyz" * 100 + b"!"}
+        for config in (BASE, OUR_MPX):
+            served, runtime = self.serve(config, files, ["fileAAAA"])
+            assert served == 1
+            responses = self.decrypt_responses(runtime, [301])
+            assert responses[0][2] == files["fileAAAA"]
+
+
+class TestDirserver:
+    def run_queries(self, config, entry_ids, uname="alice", password=b"pw123"):
+        runtime = TrustedRuntime()
+        runtime.set_password(uname, password)
+        for entry_id in entry_ids:
+            runtime.channel(0).feed(make_query(runtime, entry_id, uname))
+        runtime.channel(0).feed(QUIT_QUERY)
+        process = compile_and_load(DIRSERVER_SRC, config, runtime=runtime)
+        served = process.run()
+        wire = runtime.channel(1).drain_out()
+        results = [
+            struct.unpack_from("<q", wire, i * 16)[0]
+            for i in range(len(entry_ids))
+        ]
+        return served, results
+
+    def test_hits_return_values(self):
+        served, results = self.run_queries(OUR_MPX, [0, 2, 19998])
+        assert served == 3
+        assert results[0] == 0
+        assert results[1] == (1 * 2654435761) & 0xFFFFFF
+        assert results[2] == (9999 * 2654435761) & 0xFFFFFF
+
+    def test_misses_return_negative(self):
+        served, results = self.run_queries(OUR_MPX, [1, 3, 20001])
+        assert served == 3
+        assert all(r < 0 for r in results)
+
+    def test_bad_password_rejected(self):
+        runtime = TrustedRuntime()
+        runtime.set_password("alice", b"correct")
+        # Hand-craft a query with the wrong password.
+        bad = runtime.encrypt_with(runtime.session_key, b"wrong".ljust(16, b"\0"))
+        req = struct.pack("<q", 2) + b"alice\0\0\0" + bad
+        runtime.channel(0).feed(req.ljust(48, b"\x00"))
+        runtime.channel(0).feed(QUIT_QUERY)
+        process = compile_and_load(DIRSERVER_SRC, OUR_MPX, runtime=runtime)
+        process.run()
+        wire = runtime.channel(1).drain_out()
+        assert struct.unpack_from("<q", wire, 0)[0] == -2
+
+    def test_base_and_confllvm_agree(self):
+        ids = [0, 5, 1234, 9999]
+        _, base_results = self.run_queries(BASE, ids)
+        _, mpx_results = self.run_queries(OUR_MPX, ids)
+        assert base_results == mpx_results
+
+
+class TestClassifier:
+    def classify(self, config, seeds):
+        runtime = TrustedRuntime()
+        for seed in seeds:
+            runtime.channel(0).feed(make_image(runtime, seed))
+        process = compile_and_load(CLASSIFIER_SRC, config, runtime=runtime)
+        count = process.run()
+        wire = runtime.channel(1).drain_out()
+        classes = [
+            struct.unpack_from("<q", wire, i * 8)[0] for i in range(count)
+        ]
+        return count, classes
+
+    def test_classifies_into_valid_classes(self):
+        count, classes = self.classify(OUR_MPX, [0, 1])
+        assert count == 2
+        assert all(0 <= c < 10 for c in classes)
+
+    def test_deterministic(self):
+        _, a = self.classify(OUR_MPX, [7])
+        _, b = self.classify(OUR_MPX, [7])
+        assert a == b
+
+    def test_base_and_confllvm_agree(self):
+        _, base_classes = self.classify(BASE, [3, 4])
+        _, mpx_classes = self.classify(OUR_MPX, [3, 4])
+        assert base_classes == mpx_classes
+
+
+class TestMerkleFS:
+    def test_single_thread_verifies_all_blocks(self):
+        process = compile_and_load(merklefs_source(1), OUR_MPX)
+        assert process.run() == 0  # zero bad blocks
+
+    def test_multi_thread_verifies_all_blocks(self):
+        process = compile_and_load(merklefs_source(4), OUR_MPX, n_cores=4)
+        assert process.run() == 0
+
+    def test_thread_scaling_keeps_wall_time_flat(self):
+        times = {}
+        for n in (1, 2, 4):
+            process = compile_and_load(merklefs_source(n), BASE, n_cores=4)
+            process.run()
+            times[n] = process.wall_cycles
+        # Work per thread is constant; with enough cores the wall time
+        # should grow far slower than total work does.
+        assert times[4] < times[1] * 2.5
+
+
+@pytest.mark.slow
+class TestSpecKernels:
+    @pytest.mark.parametrize("name", SPEC_NAMES)
+    def test_kernel_agrees_across_configs(self, name):
+        source = kernel_source(name, scale=1)
+        results = {}
+        for config in (BASE, OUR_MPX, OUR_SEG):
+            process = compile_and_load(source, config)
+            results[config.name] = process.run()
+        assert results["Base"] == results["OurMPX"] == results["OurSeg"]

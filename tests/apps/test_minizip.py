@@ -1,0 +1,77 @@
+"""Minizip app tests: compress/extract round trip across configs."""
+
+import struct
+
+import pytest
+
+from repro import BASE, OUR_MPX, OUR_SEG, TrustedRuntime, compile_and_load
+from repro.apps.minizip import MINIZIP_SRC, make_request
+
+CONFIGS = [BASE, OUR_MPX, OUR_SEG]
+
+
+def run_ops(config, files, ops):
+    runtime = TrustedRuntime()
+    for name, data in files.items():
+        runtime.add_file(name, data)
+    for op, name in ops:
+        runtime.channel(0).feed(make_request(op, name))
+    runtime.channel(0).feed(make_request("Q", ""))
+    process = compile_and_load(MINIZIP_SRC, config, runtime=runtime)
+    count = process.run()
+    wire = runtime.channel(1).drain_out()
+    statuses = [
+        struct.unpack_from("<q", wire, i * 8)[0] for i in range(count)
+    ]
+    return statuses, runtime
+
+
+@pytest.mark.parametrize("config", CONFIGS, ids=lambda c: c.name)
+class TestRoundTrip:
+    def test_compress_then_extract_restores_content(self, config):
+        original = b"aaaaabbbbbbbbccdddddddddddddd" * 20
+        statuses, runtime = run_ops(
+            config,
+            {"doc00000": original},
+            [("C", "doc00000"), ("X", "doc00000")],
+        )
+        z_size, out_size = statuses
+        assert z_size > 0
+        assert out_size == len(original)
+        assert runtime.files[b"doc00000.out"] == original
+        assert len(runtime.files[b"doc00000.z"]) == z_size
+
+    def test_compression_actually_compresses_runs(self, config):
+        original = b"z" * 2000
+        statuses, runtime = run_ops(
+            config, {"runs0000": original}, [("C", "runs0000")]
+        )
+        assert statuses[0] < 50  # 2000 bytes of runs -> ~16 bytes
+
+    def test_incompressible_data_grows(self, config):
+        original = bytes(range(256)) * 4
+        statuses, _ = run_ops(
+            config, {"rand0000": original}, [("C", "rand0000")]
+        )
+        assert statuses[0] == 2 * len(original)
+
+
+class TestErrors:
+    def test_missing_file(self):
+        statuses, _ = run_ops(OUR_MPX, {}, [("C", "nope0000")])
+        assert statuses[0] == -1
+
+    def test_extract_missing_archive(self):
+        statuses, _ = run_ops(OUR_MPX, {}, [("X", "nope0000")])
+        assert statuses[0] == -1
+
+    def test_bomb_archive_rejected(self):
+        # A crafted archive that would expand past the output buffer
+        # must be rejected by the tool's own size check (and the
+        # instrumentation confines any bug in that check).
+        bomb = (b"A" + b"\xff") * 100  # expands to 25500 bytes > 8192
+        statuses, runtime = run_ops(
+            OUR_MPX, {"bomb0000.z": bomb}, [("X", "bomb0000")]
+        )
+        assert statuses[0] == -2
+        assert b"bomb0000.out" not in runtime.files

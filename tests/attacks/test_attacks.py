@@ -1,0 +1,88 @@
+"""Section 7.6 vulnerability-injection tests.
+
+The paper's claim: all three hand-crafted exploits succeed against the
+vanilla build and are stopped by ConfLLVM.
+"""
+
+import pytest
+
+from repro import BASE, OUR_MPX, OUR_SEG, TaintError, compile_source
+from repro.attacks import (
+    MINIZIP_DIRECT_SRC,
+    run_format_string_attack,
+    run_minizip_attack,
+    run_mongoose_attack,
+)
+
+PROTECTED = [OUR_MPX, OUR_SEG]
+
+
+class TestMongooseStaleStack:
+    def test_base_leaks_private_file(self):
+        outcome = run_mongoose_attack(BASE)
+        assert outcome.leaked
+
+    @pytest.mark.parametrize("config", PROTECTED, ids=lambda c: c.name)
+    def test_confllvm_stops_it(self, config):
+        outcome = run_mongoose_attack(config)
+        assert not outcome.leaked
+
+    def test_benign_requests_still_work(self):
+        # With no over-read the public page is served normally.
+        outcome = run_mongoose_attack(OUR_MPX, overread=0)
+        assert not outcome.leaked
+        assert not outcome.faulted
+        assert b"ABCDEFGHIJKLMNOP" in outcome.output
+
+
+class TestMinizipPasswordLeak:
+    def test_direct_leak_caught_statically(self):
+        with pytest.raises(TaintError):
+            compile_source(MINIZIP_DIRECT_SRC, OUR_MPX)
+
+    def test_base_leaks_password_to_log(self):
+        outcome = run_minizip_attack(BASE)
+        assert outcome.leaked
+
+    @pytest.mark.parametrize("config", PROTECTED, ids=lambda c: c.name)
+    def test_cast_laundered_leak_stopped_at_runtime(self, config):
+        outcome = run_minizip_attack(config)
+        assert not outcome.leaked
+        assert outcome.faulted
+        assert outcome.fault_kind == "trusted-wrapper-check-failed"
+
+
+class TestFormatString:
+    def test_base_dumps_the_key(self):
+        outcome = run_format_string_attack(BASE)
+        assert outcome.leaked
+
+    @pytest.mark.parametrize("config", PROTECTED, ids=lambda c: c.name)
+    def test_confllvm_contains_the_overread(self, config):
+        outcome = run_format_string_attack(config)
+        assert not outcome.leaked
+        # The server keeps running (the over-read lands in public
+        # memory), it just cannot produce private bytes.
+        assert not outcome.faulted
+
+
+class TestRopReturnHijack:
+    """Return-address overwrite -> jump to a privileged function.
+
+    The taint-aware CFI requirement that a return target carry an MRet
+    magic (not a procedure's MCall) is exactly what stops this."""
+
+    def test_base_is_hijacked(self):
+        from repro.attacks import run_rop_attack
+
+        outcome = run_rop_attack(BASE)
+        assert outcome.leaked  # reached grant_access without authz
+
+    @pytest.mark.parametrize("config", PROTECTED, ids=lambda c: c.name)
+    def test_cfi_stops_the_hijack(self, config):
+        from repro.attacks import run_rop_attack
+
+        outcome = run_rop_attack(config)
+        assert not outcome.leaked
+        assert outcome.faulted
+        assert outcome.fault_kind == "cfi-check-failed"

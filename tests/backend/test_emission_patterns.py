@@ -1,0 +1,195 @@
+"""Golden structure tests on emitted instruction streams.
+
+These assert the instrumentation *shape* the paper specifies, without
+running anything: entry sequences, CFI return patterns, icall checks,
+MPX placement rules, and segment-prefix discipline.
+"""
+
+import pytest
+
+from repro import BASE, OUR_CFI, OUR_MPX, OUR_SEG, compile_source
+from repro.backend import isa, regs
+from repro.runtime.trusted import T_PROTOTYPES
+
+SOURCE = T_PROTOTYPES + """
+private int g_secret;
+int add(int a, int b) { return a + b; }
+private int scale(private int x) { return x * 3; }
+int apply(int (*f)(int, int), int a, int b) { return f(a, b); }
+int bufuser(int n) {
+    char buf[32];
+    for (int i = 0; i < 32; i++) { buf[i] = (char)i; }
+    return (int)buf[n & 31];
+}
+int main() {
+    int *heap = (int*)malloc_pub(64);
+    heap[2] = add(1, 2) + bufuser(5);
+    g_secret = scale((private int)heap[2]);
+    int r = apply(add, 3, 4);
+    free_pub((char*)heap);
+    return r;
+}
+"""
+
+
+def code_for(config):
+    return compile_source(SOURCE, config).code
+
+
+def function_body(binary, name):
+    start = binary.label_addrs[name]
+    magic_addrs = sorted(binary.func_magic_addrs.values())
+    following = [a for a in magic_addrs if a >= start]
+    end = following[0] if following else len(binary.code)
+    return binary.code[start:end]
+
+
+class TestEntrySequences:
+    def test_every_function_has_entry_magic_with_bits(self):
+        binary = compile_source(SOURCE, OUR_MPX)
+        for name, magic_addr in binary.func_magic_addrs.items():
+            word = binary.code[magic_addr]
+            assert isinstance(word, isa.MagicWord) and word.kind == "call"
+            assert word.value >> 5 == binary.mcall_prefix
+
+    def test_scale_entry_bits_mark_private_arg_and_ret(self):
+        binary = compile_source(SOURCE, OUR_MPX)
+        word = binary.code[binary.func_magic_addrs["scale"]]
+        bits = word.value & 0x1F
+        assert bits & 1 == 1  # arg0 private
+        assert (bits >> 4) & 1 == 1  # private return
+        # Unused argument registers conservatively private (§4).
+        assert (bits >> 1) & 0b111 == 0b111
+
+    def test_add_entry_bits_public_args(self):
+        binary = compile_source(SOURCE, OUR_MPX)
+        bits = binary.code[binary.func_magic_addrs["add"]].value & 0x1F
+        assert bits & 0b11 == 0  # two public args
+        assert (bits >> 4) & 1 == 0  # public return
+
+    def test_prologue_has_chkstk_after_frame_sub(self):
+        binary = compile_source(SOURCE, OUR_MPX)
+        body = function_body(binary, "bufuser")
+        subs = [
+            i
+            for i, insn in enumerate(body)
+            if isinstance(insn, isa.Alu)
+            and insn.dst == regs.RSP
+            and insn.op == "sub"
+        ]
+        assert subs
+        assert isinstance(body[subs[0] + 1], isa.ChkStk)
+
+    def test_base_has_no_magic_or_checks(self):
+        code = code_for(BASE)
+        # Only the three loader thunks carry (inert) magic words.
+        assert sum(isinstance(i, isa.MagicWord) for i in code) == 3
+        assert not any(isinstance(i, isa.BndChk) for i in code)
+        assert not any(isinstance(i, isa.CheckMagic) for i in code)
+        assert any(isinstance(i, isa.RetPlain) for i in code)
+
+
+class TestReturnPattern:
+    def test_cfi_return_sequence(self):
+        binary = compile_source(SOURCE, OUR_CFI)
+        body = function_body(binary, "add")
+        pops = [
+            i
+            for i, insn in enumerate(body)
+            if isinstance(insn, isa.Pop)
+            and i + 1 < len(body)
+            and isinstance(body[i + 1], isa.CheckMagic)
+        ]
+        assert pops, "no CFI return found"
+        i = pops[0]
+        pop, check, jmp = body[i], body[i + 1], body[i + 2]
+        assert check.kind == "ret"
+        assert check.reg == pop.dst
+        assert isinstance(jmp, isa.JmpReg)
+        assert jmp.reg == pop.dst and jmp.skip == 1
+
+    def test_no_plain_ret_under_cfi(self):
+        for config in (OUR_CFI, OUR_MPX, OUR_SEG):
+            assert not any(
+                isinstance(i, isa.RetPlain) for i in code_for(config)
+            ), config.name
+
+    def test_return_site_magic_follows_every_call(self):
+        binary = compile_source(SOURCE, OUR_MPX)
+        code = binary.code
+        for i, insn in enumerate(code):
+            if isinstance(insn, (isa.CallD, isa.CallI)):
+                nxt = code[i + 1]
+                assert isinstance(nxt, isa.MagicWord) and nxt.kind == "ret", (
+                    f"call at {i} lacks a return-site magic"
+                )
+
+
+class TestIndirectCallPattern:
+    def test_icall_preceded_by_check_on_same_reg(self):
+        binary = compile_source(SOURCE, OUR_MPX)
+        code = binary.code
+        icalls = [i for i, x in enumerate(code) if isinstance(x, isa.CallI)]
+        assert icalls
+        for i in icalls:
+            check = code[i - 1]
+            assert isinstance(check, isa.CheckMagic) and check.kind == "call"
+            assert check.reg == code[i].reg
+
+    def test_function_pointer_values_bias_to_magic(self):
+        binary = compile_source(SOURCE, OUR_MPX)
+        from repro.link.layout import CODE_BASE
+
+        for insn in binary.code:
+            if isinstance(insn, isa.MovFuncAddr):
+                addr = insn.value - CODE_BASE
+                assert isinstance(binary.code[addr], isa.MagicWord)
+
+
+class TestMpxPlacement:
+    def test_heap_access_checked_before_use(self):
+        binary = compile_source(SOURCE, OUR_MPX)
+        code = binary.code
+        for i, insn in enumerate(code):
+            mem = getattr(insn, "mem", None)
+            if (
+                isinstance(insn, (isa.Load, isa.Store))
+                and mem is not None
+                and mem.base not in (None, regs.RSP)
+                and mem.abs is None
+            ):
+                window = code[max(0, i - 6) : i]
+                assert any(
+                    isinstance(w, isa.BndChk) for w in window
+                ), f"unchecked access at {i}: {insn!r}"
+
+    def test_stack_accesses_not_checked(self):
+        binary = compile_source(SOURCE, OUR_MPX)
+        for insn in binary.code:
+            if isinstance(insn, isa.BndChk):
+                if insn.reg is not None:
+                    assert insn.reg != regs.RSP
+                if insn.mem is not None:
+                    assert insn.mem.base != regs.RSP
+
+
+class TestSegDiscipline:
+    def test_all_register_operands_prefixed_and_32bit(self):
+        binary = compile_source(SOURCE, OUR_SEG)
+        for insn in binary.code:
+            mem = getattr(insn, "mem", None)
+            if (
+                isinstance(insn, (isa.Load, isa.Store))
+                and mem is not None
+                and mem.base is not None
+            ):
+                assert mem.seg in (isa.SEG_FS, isa.SEG_GS), repr(insn)
+                assert mem.use32, repr(insn)
+
+    def test_no_bound_checks_under_seg(self):
+        assert not any(isinstance(i, isa.BndChk) for i in code_for(OUR_SEG))
+
+    def test_private_global_store_goes_to_private_region(self):
+        binary = compile_source(SOURCE, OUR_SEG)
+        g_addr = binary.global_addrs["g_secret"]
+        assert binary.layout.private.contains(g_addr)

@@ -1,0 +1,414 @@
+"""End-to-end language-feature execution tests.
+
+Every feature is executed under the vanilla Base pipeline *and* the two
+full ConfLLVM schemes; the differential (identical exit codes) is the
+main correctness oracle for the whole backend + machine stack.
+"""
+
+import pytest
+
+from repro import BASE, OUR_MPX, OUR_SEG
+from tests.conftest import run_minic
+
+CONFIGS = [BASE, OUR_MPX, OUR_SEG]
+
+
+def returns(source, expected, config):
+    rc, _ = run_minic(source, config)
+    assert rc == expected, f"{config.name}: got {rc}, want {expected}"
+
+
+@pytest.mark.parametrize("config", CONFIGS, ids=lambda c: c.name)
+class TestArithmetic:
+    def test_basic_ops(self, config):
+        returns("int main() { return (7 + 3 * 5) - 20 / 4; }", 17, config)
+
+    def test_modulo(self, config):
+        returns("int main() { return 17 % 5; }", 2, config)
+
+    def test_bitwise(self, config):
+        returns("int main() { return (0xF0 & 0x3C) | (1 << 6) ^ 2; }", 114, config)
+
+    def test_shifts(self, config):
+        returns("int main() { return (1 << 10) >> 3; }", 128, config)
+
+    def test_unary_minus_and_not(self, config):
+        returns("int main() { return -(-42) + (~0 + 1); }", 42, config)
+
+    def test_logical_not(self, config):
+        returns("int main() { return !0 + !5 + !!7; }", 2, config)
+
+    def test_comparisons(self, config):
+        returns(
+            "int main() { return (1 < 2) + (2 <= 2) + (3 > 2) + (2 >= 3)"
+            " + (1 == 1) + (1 != 1); }",
+            4,
+            config,
+        )
+
+    def test_short_circuit_and(self, config):
+        source = """
+        int g = 0;
+        int bump() { g = g + 1; return 1; }
+        int main() { int r = 0 && bump(); return g * 10 + r; }
+        """
+        returns(source, 0, config)
+
+    def test_short_circuit_or(self, config):
+        source = """
+        int g = 0;
+        int bump() { g = g + 1; return 1; }
+        int main() { int r = 1 || bump(); return g * 10 + r; }
+        """
+        returns(source, 1, config)
+
+    def test_division_negative(self, config):
+        returns("int main() { return (0 - 7) / 2 + 10; }", 7, config)
+
+
+@pytest.mark.parametrize("config", CONFIGS, ids=lambda c: c.name)
+class TestControlFlow:
+    def test_if_else_chains(self, config):
+        source = """
+        int classify(int x) {
+            if (x < 0) { return 1; }
+            else if (x == 0) { return 2; }
+            else { return 3; }
+        }
+        int main() { return classify(0-5)*100 + classify(0)*10 + classify(9); }
+        """
+        returns(source, 123, config)
+
+    def test_while_loop(self, config):
+        returns(
+            "int main() { int s = 0; int i = 0;"
+            " while (i < 10) { s += i; i++; } return s; }",
+            45,
+            config,
+        )
+
+    def test_for_with_break_continue(self, config):
+        source = """
+        int main() {
+            int s = 0;
+            for (int i = 0; i < 100; i++) {
+                if (i % 2 == 0) { continue; }
+                if (i > 10) { break; }
+                s += i;
+            }
+            return s;
+        }
+        """
+        returns(source, 1 + 3 + 5 + 7 + 9, config)
+
+    def test_nested_loops(self, config):
+        source = """
+        int main() {
+            int count = 0;
+            for (int i = 0; i < 5; i++) {
+                for (int j = 0; j < 5; j++) {
+                    if (j == i) { break; }
+                    count++;
+                }
+            }
+            return count;
+        }
+        """
+        returns(source, 10, config)
+
+    def test_recursion(self, config):
+        source = """
+        int fib(int n) {
+            if (n < 2) { return n; }
+            return fib(n - 1) + fib(n - 2);
+        }
+        int main() { return fib(11); }
+        """
+        returns(source, 89, config)
+
+    def test_mutual_recursion(self, config):
+        source = """
+        int is_odd(int n);
+        int is_even(int n) { if (n == 0) { return 1; } return is_odd(n - 1); }
+        int is_odd(int n) { if (n == 0) { return 0; } return is_even(n - 1); }
+        int main() { return is_even(10) * 10 + is_odd(7); }
+        """
+        returns(source, 11, config)
+
+
+@pytest.mark.parametrize("config", CONFIGS, ids=lambda c: c.name)
+class TestMemoryFeatures:
+    def test_local_array(self, config):
+        returns(
+            "int main() { int a[8]; for (int i = 0; i < 8; i++) { a[i] = i*i; }"
+            " return a[7]; }",
+            49,
+            config,
+        )
+
+    def test_global_array(self, config):
+        returns(
+            "int g[4];\nint main() { g[0]=1; g[3]=9; return g[0]+g[3]; }",
+            10,
+            config,
+        )
+
+    def test_char_array_and_strings(self, config):
+        returns(
+            'int main() { char *s = "hi!"; return (int)s[0] + (int)s[2]; }',
+            104 + 33,
+            config,
+        )
+
+    def test_char_truncation(self, config):
+        returns("int main() { char c = (char)0x1FF; return (int)c; }", 0xFF, config)
+
+    def test_pointer_arith(self, config):
+        source = """
+        int main() {
+            int a[5];
+            for (int i = 0; i < 5; i++) { a[i] = i * 10; }
+            int *p = a;
+            p = p + 2;
+            int *q = &a[4];
+            return *p + (int)(q - p);
+        }
+        """
+        returns(source, 22, config)
+
+    def test_pointer_writes(self, config):
+        source = """
+        void set(int *p, int v) { *p = v; }
+        int main() { int x = 0; set(&x, 41); x++; return x; }
+        """
+        returns(source, 42, config)
+
+    def test_struct_fields(self, config):
+        source = """
+        struct point { int x; int y; char tag; };
+        int main() {
+            struct point p;
+            p.x = 30; p.y = 11; p.tag = 'z';
+            return p.x + p.y + ((int)p.tag == 122);
+        }
+        """
+        returns(source, 42, config)
+
+    def test_struct_pointer_arrow(self, config):
+        source = """
+        struct box { int v; };
+        int bump(struct box *b) { b->v += 5; return b->v; }
+        int main() { struct box b; b.v = 10; bump(&b); return bump(&b); }
+        """
+        returns(source, 20, config)
+
+    def test_nested_struct_member(self, config):
+        source = """
+        struct inner { int v; };
+        struct outer { int pad; struct inner in; };
+        int main() {
+            struct outer o;
+            o.in.v = 77;
+            return o.in.v;
+        }
+        """
+        returns(source, 77, config)
+
+    def test_struct_array_field(self, config):
+        source = """
+        struct rec { int vals[4]; int total; };
+        int main() {
+            struct rec r;
+            r.total = 0;
+            for (int i = 0; i < 4; i++) { r.vals[i] = i + 1; }
+            for (int i = 0; i < 4; i++) { r.total += r.vals[i]; }
+            return r.total;
+        }
+        """
+        returns(source, 10, config)
+
+    def test_heap_alloc_roundtrip(self, config):
+        source = """
+        int main() {
+            int *p = (int*)malloc_pub(8 * sizeof(int));
+            for (int i = 0; i < 8; i++) { p[i] = i; }
+            int s = 0;
+            for (int i = 0; i < 8; i++) { s += p[i]; }
+            free_pub((char*)p);
+            return s;
+        }
+        """
+        returns(source, 28, config)
+
+    def test_linked_list_on_heap(self, config):
+        source = """
+        struct node { int v; struct node *next; };
+        int main() {
+            struct node *head = (struct node*)0;
+            for (int i = 1; i <= 5; i++) {
+                struct node *n = (struct node*)malloc_pub(sizeof(struct node));
+                n->v = i;
+                n->next = head;
+                head = n;
+            }
+            int s = 0;
+            while ((int)head != 0) { s = s * 10 + head->v; head = head->next; }
+            return s;
+        }
+        """
+        returns(source, 54321, config)
+
+    def test_sizeof(self, config):
+        source = """
+        struct s { char c; int n; };
+        int main() { return sizeof(int) + sizeof(char) + sizeof(char*)
+                          + sizeof(struct s); }
+        """
+        returns(source, 8 + 1 + 8 + 16, config)
+
+    def test_global_initializers(self, config):
+        source = """
+        int a = 7;
+        int b = -3;
+        char msg[8] = "ok";
+        int main() { return a + b + (int)msg[0] + (int)msg[2]; }
+        """
+        returns(source, 7 - 3 + 111 + 0, config)
+
+
+@pytest.mark.parametrize("config", CONFIGS, ids=lambda c: c.name)
+class TestCallsAndPointers:
+    def test_four_args(self, config):
+        source = """
+        int combine(int a, int b, int c, int d) {
+            return a * 1000 + b * 100 + c * 10 + d;
+        }
+        int main() { return combine(1, 2, 3, 4); }
+        """
+        returns(source, 1234, config)
+
+    def test_function_pointer_call(self, config):
+        source = """
+        int dbl(int x) { return x * 2; }
+        int trp(int x) { return x * 3; }
+        int main() {
+            int (*f)(int);
+            f = dbl;
+            int a = f(10);
+            f = &trp;
+            return a + f(10);
+        }
+        """
+        returns(source, 50, config)
+
+    def test_function_pointer_table(self, config):
+        source = """
+        int add(int a, int b) { return a + b; }
+        int sub(int a, int b) { return a - b; }
+        struct op { int (*fn)(int, int); };
+        int main() {
+            struct op ops[2];
+            ops[0].fn = add;
+            ops[1].fn = sub;
+            return ops[0].fn(30, 12) * 100 + ops[1].fn(30, 12);
+        }
+        """
+        returns(source, 4218, config)
+
+    def test_function_pointer_as_arg(self, config):
+        source = """
+        int twice(int (*f)(int), int x) { return f(f(x)); }
+        int inc(int x) { return x + 1; }
+        int main() { return twice(inc, 40); }
+        """
+        returns(source, 42, config)
+
+    def test_varargs_roundtrip(self, config):
+        source = """
+        int sum_n(int n, ...) {
+            int s = 0;
+            for (int i = 0; i < n; i++) { s += __vararg(i); }
+            return s;
+        }
+        int main() { return sum_n(4, 10, 20, 30, 40) + sum_n(0); }
+        """
+        returns(source, 100, config)
+
+    def test_void_function(self, config):
+        source = """
+        int g;
+        void set_g(int v) { g = v; }
+        int main() { set_g(9); return g; }
+        """
+        returns(source, 9, config)
+
+
+@pytest.mark.parametrize("config", CONFIGS, ids=lambda c: c.name)
+class TestPrivateData:
+    def test_private_arithmetic(self, config):
+        source = """
+        int main() {
+            private int x = (private int)21;
+            private int y = x * 2;
+            return declassify_int(y);
+        }
+        """
+        returns(source, 42, config)
+
+    def test_private_array_loop(self, config):
+        source = """
+        int main() {
+            private int a[8];
+            for (int i = 0; i < 8; i++) { a[i] = (private int)(i * 3); }
+            private int s = (private int)0;
+            for (int i = 0; i < 8; i++) { s += a[i]; }
+            return declassify_int(s);
+        }
+        """
+        returns(source, 84, config)
+
+    def test_private_heap(self, config):
+        source = """
+        int main() {
+            private int *p = (private int*)malloc_priv(4 * sizeof(int));
+            p[0] = (private int)11;
+            p[3] = (private int)31;
+            private int s = p[0] + p[3];
+            free_priv((private char*)p);
+            return declassify_int(s);
+        }
+        """
+        returns(source, 42, config)
+
+    def test_private_global(self, config):
+        source = """
+        private int g_secret;
+        int main() {
+            g_secret = (private int)13;
+            g_secret += (private int)29;
+            return declassify_int(g_secret);
+        }
+        """
+        returns(source, 42, config)
+
+    def test_mixed_struct_pointer_field(self, config):
+        source = """
+        struct holder { private int *p; };
+        int main() {
+            private int v = (private int)42;
+            struct holder h;
+            h.p = &v;
+            return declassify_int(*h.p);
+        }
+        """
+        returns(source, 42, config)
+
+    def test_private_args_through_calls(self, config):
+        source = """
+        private int mix(private int a, private int b) { return a * 10 + b; }
+        int main() {
+            private int r = mix((private int)4, (private int)2);
+            return declassify_int(r);
+        }
+        """
+        returns(source, 42, config)

@@ -1,0 +1,218 @@
+"""Switch statement: semantics, jump-table lowering, ConfLLVM chains.
+
+The paper (Section 4, "Indirect jumps"): "ConfLLVM does not generate
+indirect (non-call) jumps in U.  Indirect jumps are mostly required for
+jump-table optimizations, which we currently disable."  So: the vanilla
+pipeline lowers dense switches to jump tables; ConfLLVM always emits
+compare chains, and ConfVerify rejects any jump table it sees.
+"""
+
+import copy
+
+import pytest
+
+from repro import BASE, OUR_MPX, OUR_SEG, compile_and_load, compile_source
+from repro.backend import isa
+from repro.errors import SemaError, VerifyError
+from repro.minic import analyze, parse
+from repro.verifier import verify_binary
+from tests.conftest import run_minic
+
+CONFIGS = [BASE, OUR_MPX, OUR_SEG]
+
+
+def has_jump_table(binary) -> bool:
+    return any(isinstance(i, isa.JmpTable) for i in binary.code)
+
+
+DISPATCH = """
+int dispatch(int x) {
+    int r = 0;
+    switch (x) {
+        case 0: r = 1; break;
+        case 1: r = 2; break;
+        case 2: r = 3; break;
+        case 3: r = 4; break;
+        default: r = 9;
+    }
+    return r;
+}
+int main() {
+    int acc = 0;
+    for (int i = 0; i < 6; i++) { acc = acc * 10 + dispatch(i); }
+    return acc;
+}
+"""
+
+
+@pytest.mark.parametrize("config", CONFIGS, ids=lambda c: c.name)
+class TestSemantics:
+    def test_dense_dispatch(self, config):
+        rc, _ = run_minic(DISPATCH, config)
+        assert rc == 123499
+
+    def test_fallthrough(self, config):
+        source = """
+        int main() {
+            int r = 0;
+            switch (2) {
+                case 1: r += 1;
+                case 2: r += 2;
+                case 3: r += 4; break;
+                case 4: r += 8;
+            }
+            return r;
+        }
+        """
+        rc, _ = run_minic(source, config)
+        assert rc == 6
+
+    def test_no_default_falls_out(self, config):
+        source = """
+        int main() {
+            int r = 7;
+            switch (42) { case 1: r = 0; break; }
+            return r;
+        }
+        """
+        rc, _ = run_minic(source, config)
+        assert rc == 7
+
+    def test_negative_and_sparse_cases(self, config):
+        source = """
+        int pick(int x) {
+            switch (x) {
+                case -5: return 1;
+                case 0: return 2;
+                case 1000: return 3;
+                default: return 4;
+            }
+        }
+        int main() {
+            return pick(-5) * 1000 + pick(0) * 100 + pick(1000) * 10
+                 + pick(17);
+        }
+        """
+        rc, _ = run_minic(source, config)
+        assert rc == 1234
+
+    def test_break_in_loop_inside_switch(self, config):
+        source = """
+        int main() {
+            int r = 0;
+            switch (1) {
+                case 1:
+                    for (int i = 0; i < 10; i++) {
+                        if (i == 3) { break; }
+                        r++;
+                    }
+                    r += 100;
+                    break;
+                case 2: r = 55; break;
+            }
+            return r;
+        }
+        """
+        rc, _ = run_minic(source, config)
+        assert rc == 103
+
+
+class TestLowering:
+    def test_vanilla_uses_jump_table_for_dense(self):
+        from repro.runtime.trusted import T_PROTOTYPES
+
+        binary = compile_source(T_PROTOTYPES + DISPATCH, BASE)
+        assert has_jump_table(binary)
+
+    def test_confllvm_never_uses_jump_table(self):
+        from repro.runtime.trusted import T_PROTOTYPES
+
+        for config in (OUR_MPX, OUR_SEG):
+            binary = compile_source(T_PROTOTYPES + DISPATCH, config)
+            assert not has_jump_table(binary)
+            verify_binary(binary)
+
+    def test_sparse_switch_uses_chain_even_in_vanilla(self):
+        from repro.runtime.trusted import T_PROTOTYPES
+
+        sparse = """
+        int f(int x) {
+            switch (x) { case 1: return 1; case 1000: return 2;
+                         case 100000: return 3; }
+            return 0;
+        }
+        int main() { return f(1000); }
+        """
+        binary = compile_source(T_PROTOTYPES + sparse, BASE)
+        assert not has_jump_table(binary)
+
+    def test_verifier_rejects_smuggled_jump_table(self):
+        from repro.runtime.trusted import T_PROTOTYPES
+
+        binary = compile_source(T_PROTOTYPES + DISPATCH, OUR_MPX)
+        clone = copy.deepcopy(binary)
+        for i, insn in enumerate(clone.code):
+            if isinstance(insn, isa.Br) and insn.op == "eq":
+                clone.code[i] = isa.JmpTable(insn.a, 0, [], [0])
+                break
+        with pytest.raises(VerifyError, match="indirect-jump"):
+            verify_binary(clone)
+
+
+class TestSemaRules:
+    def test_duplicate_case_rejected(self):
+        with pytest.raises(SemaError, match="duplicate case"):
+            analyze(parse(
+                "int main() { switch (1) { case 1: break; case 1: break; } "
+                "return 0; }"
+            ))
+
+    def test_private_scrutinee_rejected_strict(self):
+        from repro.errors import ImplicitFlowError
+
+        with pytest.raises(ImplicitFlowError):
+            analyze(parse(
+                "int g;\nvoid f(private int x) "
+                "{ switch (x) { case 1: g = 1; break; } }"
+            ))
+
+    def test_statement_before_case_rejected(self):
+        from repro.errors import ParseError
+
+        with pytest.raises(ParseError, match="before first case"):
+            parse("void f() { switch (1) { f(); case 1: break; } }")
+
+
+class TestInitializerLists:
+    def test_int_array_initializer(self):
+        source = """
+        int table[5] = {10, 20, 30};
+        int main() { return table[0] + table[2] + table[4]; }
+        """
+        for config in CONFIGS:
+            rc, _ = run_minic(source, config)
+            assert rc == 40
+
+    def test_char_array_initializer(self):
+        source = """
+        char bits[4] = {1, 0, 255, 7};
+        int main() { return (int)bits[2] + (int)bits[3]; }
+        """
+        rc, _ = run_minic(source, OUR_MPX)
+        assert rc == 262
+
+    def test_negative_values(self):
+        source = """
+        int deltas[2] = {-1, -19};
+        int main() { return deltas[0] + deltas[1] + 100; }
+        """
+        rc, _ = run_minic(source, OUR_MPX)
+        assert rc == 80
+
+    def test_too_many_initializers_rejected(self):
+        with pytest.raises(SemaError, match="too many"):
+            analyze(parse("int t[2] = {1, 2, 3};"))
+
+    def test_init_list_on_scalar_rejected(self):
+        with pytest.raises(SemaError, match="array"):
+            analyze(parse("int x = {1};"))

@@ -1,0 +1,39 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    BASE,
+    BASE_OA,
+    OUR_1MEM,
+    OUR_BARE,
+    OUR_CFI,
+    OUR_MPX,
+    OUR_MPX_SEP,
+    OUR_SEG,
+    TrustedRuntime,
+    compile_and_load,
+)
+from repro.runtime.trusted import T_PROTOTYPES
+
+FULL_CONFIGS = (OUR_MPX, OUR_SEG)
+ALL_RUN_CONFIGS = (BASE, BASE_OA, OUR_1MEM, OUR_BARE, OUR_CFI, OUR_MPX,
+                   OUR_MPX_SEP, OUR_SEG)
+
+
+def run_minic(source: str, config=OUR_MPX, runtime=None, include_t=True):
+    """Compile + run a MiniC snippet; returns (exit_code, process)."""
+    full = (T_PROTOTYPES + source) if include_t else source
+    process = compile_and_load(full, config, runtime=runtime)
+    return process.run(), process
+
+
+@pytest.fixture
+def runtime():
+    return TrustedRuntime()
+
+
+def pytest_configure(config):
+    config.addinivalue_line("markers", "slow: long-running simulation test")

@@ -1,0 +1,239 @@
+"""Appendix-A formal model tests: typing rules + noninterference."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.formal import (
+    ADVERSARY,
+    BOTTOM,
+    Config,
+    DONE,
+    Program,
+    TypeError_,
+    check_program,
+    generate_program,
+    initial_pair,
+    low_equiv,
+    run_lockstep,
+    step,
+)
+from repro.formal.model import (
+    ARG_REGS,
+    Assert,
+    BinOp,
+    CallU,
+    Const,
+    Function,
+    Goto,
+    H,
+    IfThenElse,
+    InDom,
+    L,
+    Ldr,
+    N_REGS,
+    Node,
+    Reg,
+    RetCheck,
+    RetCmd,
+    Str,
+)
+
+
+def straight_program(nodes_spec, arg_bits=(L, L, L, L), ret_bit=L):
+    """Build a one-function program from (cmd, gamma, gamma_out) specs."""
+    func = Function("main", False, 0, arg_bits, ret_bit)
+    for pc, (cmd, gamma, gamma_out) in enumerate(nodes_spec):
+        func.nodes[pc] = Node(pc, cmd, dict(gamma), dict(gamma_out))
+    return Program({"main": func}, "main")
+
+
+def entry_gamma(arg_bits=(L, L, L, L)):
+    gamma = {r: H for r in range(N_REGS)}
+    for i, reg in enumerate(ARG_REGS):
+        gamma[reg] = arg_bits[i]
+    return gamma
+
+
+class TestTypeChecker:
+    def test_minimal_well_typed_program(self):
+        g0 = entry_gamma()
+        g1 = dict(g0)
+        g1[0] = L
+        program = straight_program(
+            [
+                (Assert(InDom(Const(5), L)), g0, g0),
+                (Ldr(0, Const(5)), g0, g1),
+                (Assert(RetCheck(L)), g1, g1),
+                (RetCmd(), g1, g1),
+            ]
+        )
+        check_program(program)
+
+    def test_load_without_region_check_rejected(self):
+        g0 = entry_gamma()
+        g1 = dict(g0)
+        g1[0] = L
+        program = straight_program(
+            [
+                (Ldr(0, Const(5)), g0, g1),  # no assert before it
+                (Assert(RetCheck(L)), g1, g1),
+                (RetCmd(), g1, g1),
+            ]
+        )
+        with pytest.raises(TypeError_, match="check"):
+            check_program(program)
+
+    def test_private_store_to_low_region_rejected(self):
+        g0 = entry_gamma((H, L, L, L))  # reg1 private
+        program = straight_program(
+            [
+                (Assert(InDom(Const(5), L)), g0, g0),
+                (Str(1, Const(5)), g0, g0),  # private reg into µ_L
+                (Assert(RetCheck(L)), g0, g0),
+                (RetCmd(), g0, g0),
+            ],
+            arg_bits=(H, L, L, L),
+        )
+        with pytest.raises(TypeError_, match="private store"):
+            check_program(program)
+
+    def test_branch_on_private_rejected(self):
+        g0 = entry_gamma((H, L, L, L))
+        program = straight_program(
+            [
+                (IfThenElse(Reg(1), Const(1), Const(1)), g0, g0),
+                (Assert(RetCheck(L)), g0, g0),
+                (RetCmd(), g0, g0),
+            ],
+            arg_bits=(H, L, L, L),
+        )
+        with pytest.raises(TypeError_, match="private"):
+            check_program(program)
+
+    def test_private_return_as_public_rejected(self):
+        g0 = entry_gamma()
+        g1 = dict(g0)
+        g1[0] = H
+        program = straight_program(
+            [
+                (Assert(InDom(Const(105), H)), g0, g0),
+                (Ldr(0, Const(105)), g0, g1),
+                (Assert(RetCheck(L)), g1, g1),
+                (RetCmd(), g1, g1),
+            ],
+            ret_bit=L,
+        )
+        with pytest.raises(TypeError_, match="private return"):
+            check_program(program)
+
+    def test_entry_gamma_must_match_magic(self):
+        g_wrong = entry_gamma((L, L, L, L))
+        program = straight_program(
+            [
+                (Assert(RetCheck(L)), g_wrong, g_wrong),
+                (RetCmd(), g_wrong, g_wrong),
+            ],
+            arg_bits=(H, L, L, L),  # magic says reg1 is private
+        )
+        with pytest.raises(TypeError_, match="magic"):
+            check_program(program)
+
+    def test_call_arg_taint_mismatch_rejected(self):
+        callee = Function("f", False, 100, (L, L, L, L), L)
+        g = entry_gamma()
+        callee.nodes[100] = Node(100, Assert(RetCheck(L)), dict(g), dict(g))
+        callee.nodes[101] = Node(101, RetCmd(), dict(g), dict(g))
+        g0 = entry_gamma((H, L, L, L))
+        out = dict(g0)
+        out[0] = L
+        for r in range(1, N_REGS):
+            out[r] = H
+        main = Function("main", False, 0, (H, L, L, L), L)
+        main.nodes[0] = Node(
+            0, CallU("f", (Reg(1), Const(0), Const(0), Const(0))), g0, out
+        )  # passes private reg1 to a public slot
+        main.nodes[1] = Node(1, Assert(RetCheck(L)), out, out)
+        main.nodes[2] = Node(2, RetCmd(), out, out)
+        program = Program({"main": main, "f": callee}, "main")
+        with pytest.raises(TypeError_, match="argument"):
+            check_program(program)
+
+
+class TestSemantics:
+    def test_failed_assert_goes_bottom(self):
+        g0 = entry_gamma()
+        program = straight_program(
+            [
+                (Assert(InDom(Const(9999), L)), g0, g0),  # not in µ_L
+                (RetCmd(), g0, g0),
+            ]
+        )
+        config = Config({0: 1}, {}, [0] * N_REGS, [], [], 0)
+        assert step(config, program, {}) == BOTTOM
+
+    def test_out_of_cfg_goto_is_adversary(self):
+        g0 = entry_gamma()
+        program = straight_program([(Goto(Const(777)), g0, g0)])
+        config = Config({}, {}, [0] * N_REGS, [], [], 0)
+        nxt = step(config, program, {})
+        assert step(nxt, program, {}) == ADVERSARY
+
+    def test_entry_return_is_done(self):
+        g0 = entry_gamma()
+        program = straight_program([(RetCmd(), g0, g0)])
+        config = Config({}, {}, [0] * N_REGS, [], [], 0)
+        assert step(config, program, {}) == DONE
+
+    def test_low_equiv_ignores_high_state(self):
+        g0 = entry_gamma((H, L, L, L))
+        program = straight_program([(RetCmd(), g0, g0)], arg_bits=(H, L, L, L))
+        c1 = Config({0: 1}, {100: 5}, [0, 7, 0, 0, 0, 0], [], [], 0)
+        c2 = Config({0: 1}, {100: 9}, [3, 8, 0, 0, 0, 3], [], [], 0)
+        # regs 0 and 5 are H at entry; reg1 is H by arg_bits.
+        assert low_equiv(c1, c2, program)
+
+    def test_low_equiv_detects_low_difference(self):
+        g0 = entry_gamma()
+        program = straight_program([(RetCmd(), g0, g0)])
+        c1 = Config({0: 1}, {}, [0, 1, 0, 0, 0, 0], [], [], 0)
+        c2 = Config({0: 1}, {}, [0, 2, 0, 0, 0, 0], [], [], 0)
+        assert not low_equiv(c1, c2, program)
+
+
+class TestNoninterference:
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=150, deadline=None)
+    def test_generated_programs_are_well_typed(self, seed):
+        check_program(generate_program(seed))
+
+    @given(st.integers(0, 10_000), st.integers(0, 50))
+    @settings(max_examples=150, deadline=None)
+    def test_noninterference_holds(self, seed, pair_seed):
+        program = generate_program(seed)
+        check_program(program)
+        c1, c2 = initial_pair(program, pair_seed)
+        assert low_equiv(c1, c2, program)
+        result, _steps = run_lockstep(c1, c2, program, {}, max_steps=400)
+        assert result in ("ok", "bottom", "done")
+
+    def test_ill_typed_program_can_interfere(self):
+        """Sanity: without the checks, leaks are expressible — the
+        theorem's hypotheses matter."""
+        g0 = entry_gamma((H, L, L, L))
+        # Store private reg1 to low memory (would be rejected by the
+        # checker); run it and watch low memory diverge.
+        program = straight_program(
+            [
+                (Str(1, Const(0)), g0, g0),
+                (RetCmd(), g0, g0),
+            ],
+            arg_bits=(H, L, L, L),
+        )
+        with pytest.raises(TypeError_):
+            check_program(program)
+        c1 = Config({0: 0}, {}, [0, 111, 0, 0, 0, 0], [], [], 0)
+        c2 = Config({0: 0}, {}, [0, 222, 0, 0, 0, 0], [], [], 0)
+        n1 = step(c1, program, {})
+        n2 = step(c2, program, {})
+        assert n1.mu_low[0] != n2.mu_low[0]  # the leak

@@ -1,0 +1,115 @@
+"""The all-private scenario (§5.1).
+
+"we also allow the compiler to be used in an all-private scenario where
+all data manipulated by U is tainted private. In such a case, the job
+of the compiler is easy: it only needs to limit memory accesses in U to
+its own region of memory.  Implicit flows are not possible in this
+mode."  This is how the Privado enclave deployment runs.
+"""
+
+import pytest
+
+from repro import OUR_MPX, OUR_SEG, TrustedRuntime, compile_and_load, compile_source
+from repro.errors import ImplicitFlowError, MachineFault, TaintError
+from repro.runtime.trusted import T_PROTOTYPES
+from repro.taint import PRIVATE
+
+ALL_PRIVATE_MPX = OUR_MPX.variant(name="OurMPX", all_private=True)
+ALL_PRIVATE_SEG = OUR_SEG.variant(name="OurSeg", all_private=True)
+
+BRANCHY = T_PROTOTYPES + """
+int g_secret_counter;
+
+int collatz_steps(int n) {
+    int steps = 0;
+    while (n != 1) {
+        if (n % 2 == 0) { n = n / 2; } else { n = 3 * n + 1; }
+        steps++;
+    }
+    return steps;
+}
+
+int main() {
+    g_secret_counter = collatz_steps(27);
+    return declassify_int((private int)g_secret_counter);
+}
+"""
+
+
+class TestAllPrivateMode:
+    def test_branching_on_unannotated_data_is_allowed(self):
+        # Under the normal strict mode this program is fine (everything
+        # public), but with all_private the same unannotated data is
+        # private — and branching on it must still be accepted.
+        for config in (ALL_PRIVATE_MPX, ALL_PRIVATE_SEG):
+            process = compile_and_load(BRANCHY, config)
+            assert process.run() == 111  # collatz(27)
+
+    def test_unannotated_globals_become_private(self):
+        from repro.minic import analyze, parse
+
+        checked = analyze(
+            parse(T_PROTOTYPES + "int g;\nint main() { g = 1; return 0; }"),
+            all_private=True,
+        )
+        assert checked.globals["g"].type.taint is PRIVATE
+
+    def test_globals_land_in_private_region(self):
+        binary = compile_source(
+            T_PROTOTYPES + "int g;\nint main() { g = 5; return 0; }",
+            ALL_PRIVATE_MPX,
+        )
+        assert binary.layout.private.contains(binary.global_addrs["g"])
+
+    def test_trusted_interface_keeps_its_annotations(self):
+        # recv still expects a *public* buffer; handing it all-private
+        # data is a type error exactly as before.
+        source = T_PROTOTYPES + """
+        char buf[16];
+        int main() { return recv(0, buf, 16); }
+        """
+        with pytest.raises(TaintError):
+            compile_source(source, ALL_PRIVATE_MPX)
+
+    def test_cast_laundering_is_impossible(self):
+        # In all-private mode even a cast cannot produce a public
+        # pointer (cast annotations default private too), so the
+        # Minizip-style laundering is rejected *statically* — stronger
+        # than the normal mode's runtime catch.
+        source = T_PROTOTYPES + """
+        int main() {
+            private char secret[8];
+            read_passwd("u", secret, 8);
+            send(1, (char*)secret, 8);
+            return 0;
+        }
+        """
+        with pytest.raises(TaintError):
+            compile_source(source, ALL_PRIVATE_MPX)
+
+    def test_normal_mode_still_rejects_implicit_flows(self):
+        source = T_PROTOTYPES + """
+        int g;
+        void f(private int x) { if (x) { g = 1; } }
+        int main() { f((private int)1); return 0; }
+        """
+        with pytest.raises(ImplicitFlowError):
+            compile_source(source, OUR_MPX)
+
+    def test_private_returning_thread_entry(self):
+        # Thread entries return private values in all-private mode; the
+        # __texit1 thunk makes their CFI returns succeed.
+        source = T_PROTOTYPES + """
+        int g_done;
+        int worker(int arg) { g_done = arg * 2; return g_done; }
+        int main() {
+            // Code addresses are not secret: declassify the cast (in
+            // all-private mode every cast result is private).
+            int fn = declassify_int((private int)(int)&worker);
+            int t = thread_create(fn, 21);
+            thread_join(t);
+            return declassify_int((private int)g_done);
+        }
+        """
+        process = compile_and_load(source, ALL_PRIVATE_MPX)
+        assert process.run() == 42

@@ -1,0 +1,108 @@
+"""CLI driver tests."""
+
+import pytest
+
+from repro.cli import main
+
+HELLO = """
+int main() {
+    print_str("hello from minic");
+    print_int(40 + 2);
+    return 7;
+}
+"""
+
+LEAKY = """
+void f(private char *pw) { send(1, pw, 8); }
+int main() {
+    private char pw[8];
+    read_passwd("u", pw, 8);
+    f(pw);
+    return 0;
+}
+"""
+
+
+@pytest.fixture
+def hello_file(tmp_path):
+    path = tmp_path / "hello.mc"
+    path.write_text(HELLO)
+    return str(path)
+
+
+class TestCliRun:
+    def test_run_prints_and_returns(self, hello_file, capsys):
+        code = main(["run", hello_file])
+        captured = capsys.readouterr()
+        assert code == 7
+        assert "hello from minic" in captured.out
+        assert "42" in captured.out
+
+    def test_run_with_stats(self, hello_file, capsys):
+        main(["run", hello_file, "--stats"])
+        captured = capsys.readouterr()
+        assert "cycles=" in captured.err
+
+    def test_run_under_base_config(self, hello_file):
+        assert main(["run", hello_file, "--config", "Base"]) == 7
+
+    def test_compile_error_reported(self, tmp_path, capsys):
+        path = tmp_path / "leak.mc"
+        path.write_text(LEAKY)
+        code = main(["run", str(path)])
+        captured = capsys.readouterr()
+        assert code == 1
+        assert "private data flows" in captured.err
+
+    def test_ramdisk_files(self, tmp_path, capsys):
+        data = tmp_path / "data.bin"
+        data.write_bytes(b"abc")
+        src = tmp_path / "prog.mc"
+        src.write_text(
+            """
+            int main() {
+                char buf[8];
+                int n = read_file("in", buf, 8);
+                print_int(n);
+                return n;
+            }
+            """
+        )
+        code = main(["run", str(src), "--file", f"in={data}"])
+        assert code == 3
+
+    def test_stdin_hex(self, tmp_path):
+        src = tmp_path / "prog.mc"
+        src.write_text(
+            """
+            int main() {
+                char buf[4];
+                recv(0, buf, 4);
+                return (int)buf[0] + (int)buf[3];
+            }
+            """
+        )
+        assert main(["run", str(src), "--stdin-hex", "01020304"]) == 5
+
+
+class TestCliVerifyAndDisasm:
+    def test_verify_accepts(self, hello_file, capsys):
+        assert main(["verify", hello_file]) == 0
+        assert "verifies under OurMPX" in capsys.readouterr().out
+
+    def test_verify_rejects_base(self, hello_file, capsys):
+        assert main(["verify", hello_file, "--config", "Base"]) == 1
+        assert "config-not-verifiable" in capsys.readouterr().err
+
+    def test_disasm_lists_labels_and_instrs(self, hello_file, capsys):
+        assert main(["disasm", hello_file]) == 0
+        out = capsys.readouterr().out
+        assert "main:" in out
+        assert "chkstk" in out
+        assert "magic.call" in out
+
+    def test_bench_prints_all_configs(self, hello_file, capsys):
+        assert main(["bench", hello_file]) == 0
+        out = capsys.readouterr().out
+        for name in ("Base", "OurMPX", "OurSeg"):
+            assert name in out

@@ -1,0 +1,157 @@
+"""End-to-end pipeline integration tests."""
+
+import pytest
+
+from repro import (
+    BASE,
+    OUR_MPX,
+    OUR_SEG,
+    TrustedRuntime,
+    compile_and_load,
+    compile_source,
+)
+from repro.config import ALL_CONFIGS
+from repro.errors import MachineFault
+from repro.runtime.trusted import T_PROTOTYPES
+from repro.verifier import verify_binary
+
+PROGRAM = T_PROTOTYPES + """
+struct account { int id; private int *balance; };
+
+private int g_vault;
+
+private int deposit(private int balance, private int amount) {
+    return balance + amount;
+}
+
+int main() {
+    struct account acct;
+    acct.id = 7;
+    acct.balance = (private int*)malloc_priv(8);
+    *acct.balance = (private int)100;
+    for (int i = 0; i < 5; i++) {
+        *acct.balance = deposit(*acct.balance, (private int)(i * 10));
+    }
+    g_vault = *acct.balance;
+    int public_view = declassify_int(g_vault);
+    free_priv((private char*)acct.balance);
+    print_int(public_view);
+    return acct.id;
+}
+"""
+
+
+class TestFullPipeline:
+    @pytest.mark.parametrize("name", sorted(ALL_CONFIGS))
+    def test_program_runs_under_every_config(self, name):
+        process = compile_and_load(PROGRAM, ALL_CONFIGS[name])
+        assert process.run() == 7
+        assert process.stdout == ["200"]
+
+    def test_compile_with_verify_flag(self):
+        for config in (OUR_MPX, OUR_SEG):
+            process = compile_and_load(PROGRAM, config, verify=True)
+            assert process.run() == 7
+
+    def test_all_app_binaries_pass_confverify(self):
+        from repro.apps.classifier import CLASSIFIER_SRC
+        from repro.apps.dirserver import DIRSERVER_SRC
+        from repro.apps.merklefs import merklefs_source
+        from repro.apps.webserver import WEBSERVER_SRC
+
+        for source in (
+            WEBSERVER_SRC,
+            DIRSERVER_SRC,
+            CLASSIFIER_SRC,
+            merklefs_source(2),
+        ):
+            for config in (OUR_MPX, OUR_SEG):
+                verify_binary(compile_source(source, config))
+
+    def test_spec_binaries_pass_confverify(self):
+        from repro.apps.spec import SPEC_NAMES, kernel_source
+
+        for name in SPEC_NAMES:
+            verify_binary(compile_source(kernel_source(name, 1), OUR_MPX))
+
+    def test_deterministic_compilation(self):
+        b1 = compile_source(PROGRAM, OUR_MPX, seed=11)
+        b2 = compile_source(PROGRAM, OUR_MPX, seed=11)
+        assert len(b1.code) == len(b2.code)
+        assert b1.label_addrs == b2.label_addrs
+        assert [repr(a) for a in b1.code] == [repr(a) for a in b2.code]
+
+    def test_deterministic_execution(self):
+        runs = []
+        for _ in range(2):
+            process = compile_and_load(PROGRAM, OUR_MPX)
+            process.run()
+            runs.append((process.wall_cycles, process.stats.instructions))
+        assert runs[0] == runs[1]
+
+
+class TestInstrumentationCounters:
+    def test_base_has_no_checks(self):
+        process = compile_and_load(PROGRAM, BASE)
+        process.run()
+        assert process.stats.bnd_checks == 0
+        assert process.stats.cfi_checks == 0
+
+    def test_mpx_has_bound_checks(self):
+        process = compile_and_load(PROGRAM, OUR_MPX)
+        process.run()
+        assert process.stats.bnd_checks > 0
+        assert process.stats.cfi_checks > 0
+
+    def test_seg_has_no_bound_checks(self):
+        process = compile_and_load(PROGRAM, OUR_SEG)
+        process.run()
+        assert process.stats.bnd_checks == 0
+        assert process.stats.cfi_checks > 0
+
+    def test_cycle_ordering_across_configs(self):
+        cycles = {}
+        for name in ("Base", "OurBare", "OurCFI", "OurMPX"):
+            process = compile_and_load(PROGRAM, ALL_CONFIGS[name])
+            process.run()
+            cycles[name] = process.wall_cycles
+        assert cycles["Base"] <= cycles["OurCFI"]
+        assert cycles["OurCFI"] <= cycles["OurMPX"]
+
+
+class TestRuntimeBudget:
+    def test_instruction_budget_enforced(self):
+        looping = T_PROTOTYPES + """
+        int main() { while (1) { } return 0; }
+        """
+        process = compile_and_load(looping, BASE)
+        with pytest.raises(MachineFault, match="budget"):
+            process.run(max_instructions=10_000)
+
+
+class TestMultiModuleBehaviours:
+    def test_exit_code_is_main_return(self):
+        source = T_PROTOTYPES + "int main() { return 123; }"
+        assert compile_and_load(source, OUR_MPX).run() == 123
+
+    def test_negative_exit_code_wraps(self):
+        source = T_PROTOTYPES + "int main() { return -1; }"
+        rc = compile_and_load(source, OUR_MPX).run()
+        assert rc == (1 << 64) - 1  # raw RAX value
+
+    def test_runtime_shared_across_reload(self):
+        runtime = TrustedRuntime()
+        runtime.add_file("f", b"hello")
+        source = T_PROTOTYPES + """
+        int main() {
+            char buf[8];
+            int n = read_file("f", buf, 8);
+            buf[n] = '!';
+            write_file("f", buf, n + 1);
+            return n;
+        }
+        """
+        assert compile_and_load(source, OUR_MPX, runtime=runtime).run() == 5
+        runtime2 = TrustedRuntime()
+        runtime2.files = runtime.files
+        assert compile_and_load(source, OUR_MPX, runtime=runtime2).run() == 6

@@ -1,0 +1,155 @@
+"""IR construction and the internal IR verifier."""
+
+import pytest
+
+from repro.errors import IRError
+from repro.ir import (
+    Bin,
+    Block,
+    Branch,
+    Const,
+    IRFunction,
+    Jump,
+    MemRef,
+    Ret,
+    Store,
+    verify_function,
+)
+from repro.minic.types import INT, FuncType
+from repro.taint import PRIVATE, PUBLIC
+
+
+def make_func():
+    return IRFunction("f", FuncType(INT, []), [])
+
+
+class TestStructure:
+    def test_valid_single_block(self):
+        f = make_func()
+        b = f.new_block()
+        v = f.new_vreg(PUBLIC)
+        b.instrs = [Const(v, 1), Ret(v)]
+        verify_function(f)
+
+    def test_empty_function_rejected(self):
+        with pytest.raises(IRError, match="no blocks"):
+            verify_function(make_func())
+
+    def test_empty_block_rejected(self):
+        f = make_func()
+        f.new_block()
+        with pytest.raises(IRError, match="empty block"):
+            verify_function(f)
+
+    def test_missing_terminator_rejected(self):
+        f = make_func()
+        b = f.new_block()
+        b.instrs = [Const(f.new_vreg(PUBLIC), 1)]
+        with pytest.raises(IRError, match="terminator"):
+            verify_function(f)
+
+    def test_terminator_mid_block_rejected(self):
+        f = make_func()
+        b = f.new_block()
+        b.instrs = [Ret(0), Ret(0)]
+        with pytest.raises(IRError, match="mid-block"):
+            verify_function(f)
+
+    def test_unknown_branch_target_rejected(self):
+        f = make_func()
+        b = f.new_block()
+        b.instrs = [Jump("nowhere")]
+        with pytest.raises(IRError, match="unknown target"):
+            verify_function(f)
+
+
+class TestDefUse:
+    def test_use_before_def_rejected(self):
+        f = make_func()
+        b = f.new_block()
+        v = f.new_vreg(PUBLIC)
+        b.instrs = [Ret(v)]
+        with pytest.raises(IRError, match="undefined"):
+            verify_function(f)
+
+    def test_def_on_one_path_only_rejected(self):
+        f = make_func()
+        entry = f.new_block()
+        left = f.new_block()
+        right = f.new_block()
+        join = f.new_block()
+        cond = f.new_vreg(PUBLIC)
+        v = f.new_vreg(PUBLIC)
+        entry.instrs = [Const(cond, 1), Branch(cond, left.name, right.name)]
+        left.instrs = [Const(v, 1), Jump(join.name)]
+        right.instrs = [Jump(join.name)]  # v not defined here
+        join.instrs = [Ret(v)]
+        with pytest.raises(IRError, match="undefined"):
+            verify_function(f)
+
+    def test_def_on_both_paths_accepted(self):
+        f = make_func()
+        entry = f.new_block()
+        left = f.new_block()
+        right = f.new_block()
+        join = f.new_block()
+        cond = f.new_vreg(PUBLIC)
+        v = f.new_vreg(PUBLIC)
+        entry.instrs = [Const(cond, 1), Branch(cond, left.name, right.name)]
+        left.instrs = [Const(v, 1), Jump(join.name)]
+        right.instrs = [Const(v, 2), Jump(join.name)]
+        join.instrs = [Ret(v)]
+        verify_function(f)
+
+    def test_params_are_defined(self):
+        f = make_func()
+        p = f.new_vreg(PUBLIC)
+        f.param_vregs.append(p)
+        b = f.new_block()
+        b.instrs = [Ret(p)]
+        verify_function(f)
+
+
+class TestTaintInvariant:
+    def test_private_store_to_public_region_rejected(self):
+        f = make_func()
+        b = f.new_block()
+        addr = f.new_vreg(PUBLIC)
+        secret = f.new_vreg(PRIVATE)
+        b.instrs = [
+            Const(addr, 0x1000),
+            Const(secret, 7),
+            Store(MemRef(region=PUBLIC, base=addr), secret, 8),
+            Ret(0),
+        ]
+        with pytest.raises(IRError, match="private value stored"):
+            verify_function(f)
+
+    def test_private_store_to_private_region_ok(self):
+        f = make_func()
+        b = f.new_block()
+        addr = f.new_vreg(PUBLIC)
+        secret = f.new_vreg(PRIVATE)
+        b.instrs = [
+            Const(addr, 0x1000),
+            Const(secret, 7),
+            Store(MemRef(region=PRIVATE, base=addr), secret, 8),
+            Ret(0),
+        ]
+        verify_function(f)
+
+
+class TestMemRef:
+    def test_needs_exactly_one_anchor(self):
+        f = make_func()
+        v = f.new_vreg(PUBLIC)
+        with pytest.raises(AssertionError):
+            MemRef(region=PUBLIC)  # no anchor
+        with pytest.raises(AssertionError):
+            MemRef(region=PUBLIC, base=v, global_name="g")
+
+    def test_regs_lists_base_and_index(self):
+        f = make_func()
+        b, i = f.new_vreg(PUBLIC), f.new_vreg(PUBLIC)
+        mem = MemRef(region=PUBLIC, base=b, index=i, scale=8)
+        assert mem.regs() == [b, i]

@@ -1,0 +1,166 @@
+"""Linker and loader tests: layout, magic selection, static checks."""
+
+import pytest
+
+from repro import BASE, OUR_MPX, OUR_SEG, compile_and_load, compile_source
+from repro.backend import isa
+from repro.errors import LinkError, MachineFault
+from repro.link.layout import (
+    CODE_BASE,
+    MPX_STACK_OFFSET,
+    NATIVE_BASE,
+    REGION_SIZE,
+    make_layout,
+)
+from repro.runtime.trusted import T_PROTOTYPES
+
+SIMPLE = T_PROTOTYPES + """
+private int g_priv;
+int g_pub = 3;
+int main() { g_priv = (private int)1; return g_pub; }
+"""
+
+
+class TestLayout:
+    def test_mpx_regions_disjoint_with_guard(self):
+        layout = make_layout("mpx", True, 4096, 4096)
+        assert layout.public.end < layout.private.base
+        assert layout.private.base - layout.public.end >= (1 << 20)
+
+    def test_offset_matches_constant(self):
+        layout = make_layout("mpx", True, 0, 0)
+        assert layout.offset == MPX_STACK_OFFSET
+
+    def test_seg_bases_4gb_aligned(self):
+        layout = make_layout("seg", True, 0, 0)
+        assert layout.public.base % (4 << 30) == 0
+        assert layout.private.base % (4 << 30) == 0
+
+    def test_heap_does_not_overlap_stack_area(self):
+        layout = make_layout("mpx", True, 1 << 20, 0)
+        heap_lo, heap_hi = layout.heap_range(False)
+        stack_lo, _ = layout.stack_range(False, 7)
+        assert heap_hi <= stack_lo
+
+    def test_thread_stacks_disjoint(self):
+        layout = make_layout("mpx", True, 0, 0)
+        r0 = layout.stack_range(False, 0)
+        r1 = layout.stack_range(False, 1)
+        assert r1[1] == r0[0]
+
+    def test_flat_layout_has_no_private(self):
+        layout = make_layout(None, False, 0, 0)
+        assert layout.private is None
+        assert layout.offset == 0
+
+
+class TestLinker:
+    def test_globals_in_taint_regions(self):
+        binary = compile_source(SIMPLE, OUR_MPX)
+        layout = binary.layout
+        assert layout.public.contains(binary.global_addrs["g_pub"])
+        assert layout.private.contains(binary.global_addrs["g_priv"])
+
+    def test_flat_config_merges_regions(self):
+        binary = compile_source(SIMPLE, BASE)
+        assert binary.layout.private is None
+        assert binary.layout.public.contains(binary.global_addrs["g_priv"])
+
+    def test_magic_prefixes_unique_in_code(self):
+        binary = compile_source(SIMPLE, OUR_MPX)
+        for word in binary.code:
+            if isinstance(word, isa.MagicWord):
+                continue
+            assert (word.encoding() >> 5) not in (
+                binary.mcall_prefix,
+                binary.mret_prefix,
+            )
+
+    def test_magic_words_patched(self):
+        binary = compile_source(SIMPLE, OUR_MPX)
+        for word in binary.code:
+            if isinstance(word, isa.MagicWord) and word.kind == "call":
+                assert word.value >> 5 == binary.mcall_prefix
+
+    def test_magic_deterministic_per_seed(self):
+        b1 = compile_source(SIMPLE, OUR_MPX, seed=5)
+        b2 = compile_source(SIMPLE, OUR_MPX, seed=5)
+        b3 = compile_source(SIMPLE, OUR_MPX, seed=6)
+        assert b1.mcall_prefix == b2.mcall_prefix
+        assert b1.mcall_prefix != b3.mcall_prefix
+
+    def test_externals_table_first_in_public_globals(self):
+        binary = compile_source(SIMPLE, OUR_MPX)
+        assert binary.externals_table_addr == binary.layout.public.base
+
+    def test_stub_per_import(self):
+        binary = compile_source(SIMPLE, OUR_MPX)
+        stubs = [n for n in binary.label_addrs if n.startswith("stub.")]
+        assert len(stubs) == len(binary.imports)
+
+    def test_unknown_entry_rejected(self):
+        with pytest.raises(LinkError, match="entry"):
+            compile_source("int helper() { return 1; }", OUR_MPX, entry="main")
+
+    def test_undefined_function_rejected(self):
+        with pytest.raises(Exception, match="never defined"):
+            compile_source("int missing(int x); int main() { return missing(1); }",
+                           OUR_MPX)
+
+    def test_function_pointers_point_at_magic(self):
+        source = T_PROTOTYPES + """
+        int f(int x) { return x; }
+        int main() { int (*p)(int); p = f; return p(1); }
+        """
+        binary = compile_source(source, OUR_MPX)
+        for word in binary.code:
+            if isinstance(word, isa.MovFuncAddr) and word.func == "f":
+                assert word.value == CODE_BASE + binary.func_magic_addrs["f"]
+
+    def test_function_pointers_point_at_entry_without_cfi(self):
+        source = T_PROTOTYPES + """
+        int f(int x) { return x; }
+        int main() { int (*p)(int); p = f; return p(1); }
+        """
+        binary = compile_source(source, BASE)
+        for word in binary.code:
+            if isinstance(word, isa.MovFuncAddr) and word.func == "f":
+                assert word.value == CODE_BASE + binary.label_addrs["f"]
+
+
+class TestLoader:
+    def test_bounds_registers_installed(self):
+        process = compile_and_load(SIMPLE, OUR_MPX)
+        machine = process.machine
+        layout = machine.layout
+        assert machine.bnd[0] == (layout.public.base, layout.public.end)
+        assert machine.bnd[1] == (layout.private.base, layout.private.end)
+
+    def test_segment_registers_installed(self):
+        process = compile_and_load(SIMPLE, OUR_SEG)
+        machine = process.machine
+        assert machine.fs_base == machine.layout.public.base
+        assert machine.gs_base == machine.layout.private.base
+
+    def test_global_initializers_visible(self):
+        process = compile_and_load(SIMPLE, OUR_MPX)
+        addr = process.machine.binary.global_addrs["g_pub"]
+        assert process.machine.mem.read_int(addr, 8) == 3
+
+    def test_externals_table_read_only(self):
+        process = compile_and_load(SIMPLE, OUR_MPX)
+        table = process.machine.binary.externals_table_addr
+        with pytest.raises(MachineFault):
+            process.machine.mem.write_int(table, 8, 0xBAD)
+
+    def test_externals_table_holds_native_ids(self):
+        process = compile_and_load(SIMPLE, OUR_MPX)
+        table = process.machine.binary.externals_table_addr
+        first = process.machine.mem.read_int(table, 8)
+        assert first == NATIVE_BASE
+
+    def test_guard_between_regions_unmapped(self):
+        process = compile_and_load(SIMPLE, OUR_MPX)
+        layout = process.machine.layout
+        gap = layout.public.end + 100
+        assert not process.machine.mem.is_mapped(gap)

@@ -1,0 +1,103 @@
+"""64-bit arithmetic semantics (shared by folder and machine)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arith import MASK64, eval_bin, eval_un, signed, wrap
+from repro.errors import MachineFault
+
+u64 = st.integers(0, MASK64)
+s64 = st.integers(-(1 << 63), (1 << 63) - 1)
+
+
+class TestBasics:
+    def test_wrap(self):
+        assert wrap(-1) == MASK64
+        assert wrap(1 << 64) == 0
+
+    def test_signed_roundtrip(self):
+        assert signed(wrap(-5)) == -5
+        assert signed(5) == 5
+
+    def test_add_wraps(self):
+        assert eval_bin("add", MASK64, 1) == 0
+
+    def test_sub_wraps(self):
+        assert eval_bin("sub", 0, 1) == MASK64
+
+    def test_mul_signed(self):
+        assert signed(eval_bin("mul", wrap(-3), 4)) == -12
+
+    def test_div_truncates_toward_zero(self):
+        assert signed(eval_bin("div", wrap(-7), 2)) == -3
+        assert signed(eval_bin("div", 7, wrap(-2))) == -3
+
+    def test_mod_sign_follows_dividend(self):
+        assert signed(eval_bin("mod", wrap(-7), 2)) == -1
+        assert signed(eval_bin("mod", 7, wrap(-2))) == 1
+
+    def test_div_by_zero_faults(self):
+        with pytest.raises(MachineFault):
+            eval_bin("div", 1, 0)
+        with pytest.raises(MachineFault):
+            eval_bin("mod", 1, 0)
+
+    def test_shr_is_arithmetic(self):
+        assert signed(eval_bin("shr", wrap(-8), 1)) == -4
+
+    def test_shl_wraps(self):
+        assert eval_bin("shl", 1, 63) == 1 << 63
+        assert eval_bin("shl", 1, 64) == 1  # shift count masked to 6 bits
+
+    def test_comparisons_signed(self):
+        assert eval_bin("lt", wrap(-1), 0) == 1
+        assert eval_bin("gt", 0, wrap(-1)) == 1
+        assert eval_bin("le", 5, 5) == 1
+        assert eval_bin("ge", 5, 6) == 0
+
+    def test_unary(self):
+        assert signed(eval_un("neg", 5)) == -5
+        assert eval_un("not", 0) == MASK64
+
+    def test_unknown_ops_raise(self):
+        with pytest.raises(ValueError):
+            eval_bin("pow", 1, 2)
+        with pytest.raises(ValueError):
+            eval_un("abs", 1)
+
+
+class TestProperties:
+    @given(u64, u64)
+    @settings(max_examples=300, deadline=None)
+    def test_add_matches_python_mod_2_64(self, a, b):
+        assert eval_bin("add", a, b) == (a + b) % (1 << 64)
+
+    @given(u64, u64)
+    @settings(max_examples=300, deadline=None)
+    def test_mul_matches_signed_python(self, a, b):
+        assert signed(eval_bin("mul", a, b)) == wrap(
+            signed(a) * signed(b)
+        ) - ((1 << 64) if wrap(signed(a) * signed(b)) >> 63 else 0)
+
+    @given(s64, st.integers(-(1 << 31), (1 << 31) - 1).filter(lambda x: x != 0))
+    @settings(max_examples=300, deadline=None)
+    def test_div_mod_identity(self, a, b):
+        q = signed(eval_bin("div", wrap(a), wrap(b)))
+        r = signed(eval_bin("mod", wrap(a), wrap(b)))
+        assert q * b + r == a
+        assert abs(r) < abs(b)
+
+    @given(u64, u64)
+    @settings(max_examples=300, deadline=None)
+    def test_comparison_consistency(self, a, b):
+        lt = eval_bin("lt", a, b)
+        gt = eval_bin("gt", a, b)
+        eq = eval_bin("eq", a, b)
+        assert lt + gt + eq == 1
+
+    @given(u64)
+    @settings(max_examples=200, deadline=None)
+    def test_double_negation(self, a):
+        assert eval_un("neg", eval_un("neg", a)) == a
+        assert eval_un("not", eval_un("not", a)) == a

@@ -1,0 +1,140 @@
+"""Machine memory and cache model tests."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import MachineFault
+from repro.machine.cache import L1Cache
+from repro.machine.memory import PAGE_SIZE, Memory
+
+
+class TestMemory:
+    def test_unmapped_read_faults(self):
+        mem = Memory()
+        with pytest.raises(MachineFault) as e:
+            mem.read_int(0x1000, 8)
+        assert e.value.kind == "unmapped-access"
+
+    def test_mapped_roundtrip(self):
+        mem = Memory()
+        mem.map_range(0x1000, 0x2000)
+        mem.write_int(0x1234, 8, 0xDEADBEEF)
+        assert mem.read_int(0x1234, 8) == 0xDEADBEEF
+
+    def test_byte_sized_access(self):
+        mem = Memory()
+        mem.map_range(0, PAGE_SIZE)
+        mem.write_int(10, 1, 0x1FF)  # truncates to one byte
+        assert mem.read_int(10, 1) == 0xFF
+
+    def test_cross_page_access(self):
+        mem = Memory()
+        mem.map_range(0, 2 * PAGE_SIZE)
+        addr = PAGE_SIZE - 4
+        mem.write_int(addr, 8, 0x1122334455667788)
+        assert mem.read_int(addr, 8) == 0x1122334455667788
+
+    def test_cross_page_into_unmapped_faults(self):
+        mem = Memory()
+        mem.map_range(0, PAGE_SIZE)
+        with pytest.raises(MachineFault):
+            mem.write_int(PAGE_SIZE - 4, 8, 1)
+
+    def test_guard_hole_between_ranges(self):
+        mem = Memory()
+        mem.map_range(0, PAGE_SIZE)
+        mem.map_range(3 * PAGE_SIZE, 4 * PAGE_SIZE)
+        with pytest.raises(MachineFault):
+            mem.read_int(2 * PAGE_SIZE, 1)
+
+    def test_read_only_enforced(self):
+        mem = Memory()
+        mem.map_range(0, PAGE_SIZE)
+        mem.write_bytes(100, b"init")
+        mem.protect_read_only(100, 104)
+        with pytest.raises(MachineFault) as e:
+            mem.write_int(102, 1, 0)
+        assert e.value.kind == "permission-violation"
+        # Loader path bypasses protection.
+        mem.write_bytes_unprotected(100, b"okay")
+        assert mem.read_bytes(100, 4) == b"okay"
+
+    def test_bulk_bytes_roundtrip(self):
+        mem = Memory()
+        mem.map_range(0, 4 * PAGE_SIZE)
+        blob = bytes(range(256)) * 33
+        mem.write_bytes(500, blob)
+        assert mem.read_bytes(500, len(blob)) == blob
+
+    @given(st.lists(st.tuples(st.integers(0, 4000), st.integers(1, 8),
+                              st.integers(0, (1 << 64) - 1)), max_size=40))
+    @settings(max_examples=100, deadline=None)
+    def test_last_write_wins(self, writes):
+        mem = Memory()
+        mem.map_range(0, 2 * PAGE_SIZE)
+        shadow = bytearray(2 * PAGE_SIZE)
+        for addr, size, value in writes:
+            mem.write_int(addr, size, value)
+            shadow[addr : addr + size] = (
+                value & ((1 << (8 * size)) - 1)
+            ).to_bytes(size, "little")
+        for addr, size, _ in writes:
+            expected = int.from_bytes(shadow[addr : addr + size], "little")
+            assert mem.read_int(addr, size) == expected
+
+
+class TestCache:
+    def test_first_access_misses(self):
+        cache = L1Cache()
+        assert cache.access(0x1000) is False
+        assert cache.misses == 1
+
+    def test_second_access_hits(self):
+        cache = L1Cache()
+        cache.access(0x1000)
+        assert cache.access(0x1000) is True
+        assert cache.hits == 1
+
+    def test_same_line_shares(self):
+        cache = L1Cache()
+        cache.access(0x1000)
+        assert cache.access(0x1001) is True  # same 64B line
+
+    def test_lru_eviction(self):
+        cache = L1Cache(n_sets=1, n_ways=2)
+        cache.access(0)        # line A
+        cache.access(64)       # line B
+        cache.access(128)      # line C evicts A
+        assert cache.access(64) is True   # B still resident
+        assert cache.access(0) is False   # A was evicted
+
+    def test_lru_refresh_on_hit(self):
+        cache = L1Cache(n_sets=1, n_ways=2)
+        cache.access(0)
+        cache.access(64)
+        cache.access(0)        # refresh A
+        cache.access(128)      # evicts B, not A
+        assert cache.access(0) is True
+
+    def test_flush(self):
+        cache = L1Cache()
+        cache.access(0x40)
+        cache.flush()
+        assert cache.access(0x40) is False
+
+    def test_distinct_sets_do_not_interfere(self):
+        cache = L1Cache(n_sets=2, n_ways=1)
+        cache.access(0)      # set 0
+        cache.access(64)     # set 1
+        assert cache.access(0) is True
+        assert cache.access(64) is True
+
+    def test_working_set_larger_than_cache_thrashes(self):
+        cache = L1Cache(n_sets=4, n_ways=2)  # 8 lines capacity
+        lines = [i * 64 for i in range(16)]
+        for _ in range(3):
+            for addr in lines:
+                cache.access(addr)
+        # Sequential sweep over 2x capacity with LRU: ~all misses.
+        assert cache.hits == 0

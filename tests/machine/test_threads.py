@@ -1,0 +1,142 @@
+"""Thread scheduler and virtual-time model tests."""
+
+import pytest
+
+from repro import BASE, OUR_MPX, TrustedRuntime, compile_and_load
+from repro.errors import MachineFault
+from repro.runtime.trusted import T_PROTOTYPES
+
+
+def spin_source(n_threads: int, iters: int) -> str:
+    return T_PROTOTYPES + f"""
+    int done[8];
+    int worker(int slot) {{
+        int s = 0;
+        for (int i = 0; i < {iters}; i++) {{ s += i; }}
+        done[slot] = 1;
+        return 0;
+    }}
+    int main() {{
+        int tids[8];
+        for (int t = 0; t < {n_threads}; t++) {{
+            tids[t] = thread_create((int)&worker, t);
+        }}
+        int finished = 0;
+        for (int t = 0; t < {n_threads}; t++) {{
+            thread_join(tids[t]);
+            finished += done[t];
+        }}
+        return finished;
+    }}
+    """
+
+
+class TestScheduling:
+    def test_all_threads_complete(self):
+        process = compile_and_load(spin_source(4, 100), BASE, n_cores=4)
+        assert process.run() == 4
+
+    def test_more_threads_than_cores(self):
+        process = compile_and_load(spin_source(7, 50), BASE, n_cores=2)
+        assert process.run() == 7
+
+    def test_parallel_speedup_on_cores(self):
+        times = {}
+        for cores in (1, 4):
+            process = compile_and_load(spin_source(4, 2000), BASE,
+                                       n_cores=cores)
+            process.run()
+            times[cores] = process.wall_cycles
+        assert times[4] < times[1] * 0.45  # ~4x work in parallel
+
+    def test_spawn_time_ordering(self):
+        # A spawned thread cannot have executed before its spawn: its
+        # core clock starts at the spawner's clock, so total wall time
+        # must cover setup + the longest worker.
+        process = compile_and_load(spin_source(1, 3000), BASE, n_cores=4)
+        process.run()
+        wall = process.wall_cycles
+        solo = compile_and_load(
+            T_PROTOTYPES
+            + """
+            int main() {
+                int s = 0;
+                for (int i = 0; i < 3000; i++) { s += i; }
+                return 1;
+            }
+            """,
+            BASE,
+        )
+        solo.run()
+        assert wall >= solo.wall_cycles * 0.9
+
+    def test_join_does_not_burn_cycles(self):
+        # Main blocks on the join; the wall time should be dominated by
+        # the worker, not doubled by a spin-wait.
+        process = compile_and_load(spin_source(1, 4000), BASE, n_cores=4)
+        process.run()
+        # Worker ~ 4000 iterations * ~4 cycles; a spinning join would
+        # add a comparable amount on core 0.
+        assert process.wall_cycles < 4000 * 12
+
+    def test_join_on_dead_thread_returns_immediately(self):
+        source = T_PROTOTYPES + """
+        int worker(int x) { return 0; }
+        int main() {
+            int t = thread_create((int)&worker, 0);
+            thread_join(t);
+            thread_join(t);    // second join: target already dead
+            return 5;
+        }
+        """
+        process = compile_and_load(source, BASE)
+        assert process.run() == 5
+
+    def test_join_unknown_tid_is_noop(self):
+        source = T_PROTOTYPES + """
+        int main() { thread_join(99); return 3; }
+        """
+        process = compile_and_load(source, BASE)
+        assert process.run() == 3
+
+    def test_threads_under_instrumentation(self):
+        process = compile_and_load(spin_source(3, 200), OUR_MPX, n_cores=4)
+        assert process.run() == 3
+
+    def test_fault_in_thread_propagates(self):
+        source = T_PROTOTYPES + """
+        int worker(int x) {
+            private char *p = (private char*)7;
+            *p = (private char)1;   // wild private write
+            return 0;
+        }
+        int main() {
+            int t = thread_create((int)&worker, 0);
+            thread_join(t);
+            return 0;
+        }
+        """
+        process = compile_and_load(source, OUR_MPX)
+        with pytest.raises(MachineFault):
+            process.run()
+
+    def test_thread_stacks_disjoint_and_used(self):
+        source = T_PROTOTYPES + """
+        int sps[4];
+        int worker(int slot) {
+            int local = slot;
+            sps[slot] = (int)&local;
+            return 0;
+        }
+        int main() {
+            int t0 = thread_create((int)&worker, 0);
+            int t1 = thread_create((int)&worker, 1);
+            thread_join(t0);
+            thread_join(t1);
+            int delta = sps[0] - sps[1];
+            if (delta < 0) { delta = 0 - delta; }
+            return delta >= (1 << 20);   // stacks >= 1 MiB apart
+        }
+        """
+        process = compile_and_load(source, BASE)
+        assert process.run() == 1

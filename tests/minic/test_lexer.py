@@ -1,0 +1,132 @@
+"""Lexer unit tests."""
+
+import pytest
+
+from repro.errors import LexError
+from repro.minic.lexer import tokenize
+from repro.minic.tokens import TK_CHAR, TK_EOF, TK_IDENT, TK_INT, TK_KEYWORD, TK_PUNCT, TK_STRING
+
+
+def kinds(source):
+    return [t.kind for t in tokenize(source)]
+
+
+def texts(source):
+    return [t.text for t in tokenize(source)[:-1]]
+
+
+class TestBasicTokens:
+    def test_empty_input_yields_eof(self):
+        toks = tokenize("")
+        assert len(toks) == 1
+        assert toks[0].kind == TK_EOF
+
+    def test_identifier(self):
+        tok = tokenize("hello")[0]
+        assert tok.kind == TK_IDENT
+        assert tok.text == "hello"
+
+    def test_identifier_with_underscore_and_digits(self):
+        tok = tokenize("_foo42_bar")[0]
+        assert tok.kind == TK_IDENT
+
+    def test_keywords_recognized(self):
+        for word in ("int", "char", "void", "private", "struct", "return",
+                     "if", "else", "while", "for", "break", "continue",
+                     "sizeof", "extern", "trusted"):
+            tok = tokenize(word)[0]
+            assert tok.kind == TK_KEYWORD, word
+
+    def test_keyword_prefix_is_identifier(self):
+        tok = tokenize("integer")[0]
+        assert tok.kind == TK_IDENT
+
+    def test_decimal_literal(self):
+        tok = tokenize("12345")[0]
+        assert tok.kind == TK_INT
+        assert tok.value == 12345
+
+    def test_hex_literal(self):
+        tok = tokenize("0xDEAD")[0]
+        assert tok.value == 0xDEAD
+
+    def test_zero(self):
+        assert tokenize("0")[0].value == 0
+
+
+class TestCharAndString:
+    def test_char_literal(self):
+        tok = tokenize("'A'")[0]
+        assert tok.kind == TK_CHAR
+        assert tok.value == 65
+
+    def test_char_escapes(self):
+        assert tokenize(r"'\n'")[0].value == 10
+        assert tokenize(r"'\t'")[0].value == 9
+        assert tokenize(r"'\0'")[0].value == 0
+        assert tokenize(r"'\\'")[0].value == 92
+        assert tokenize(r"'\''")[0].value == 39
+
+    def test_hex_escape(self):
+        assert tokenize(r"'\x41'")[0].value == 0x41
+
+    def test_string_literal(self):
+        tok = tokenize('"hello"')[0]
+        assert tok.kind == TK_STRING
+        assert tok.value == b"hello"
+
+    def test_string_with_escapes(self):
+        assert tokenize(r'"a\nb\0c"')[0].value == b"a\nb\x00c"
+
+    def test_unterminated_string_raises(self):
+        with pytest.raises(LexError):
+            tokenize('"oops')
+
+    def test_unterminated_char_raises(self):
+        with pytest.raises(LexError):
+            tokenize("'a")
+
+    def test_unknown_escape_raises(self):
+        with pytest.raises(LexError):
+            tokenize(r"'\q'")
+
+
+class TestPunctuation:
+    def test_longest_match(self):
+        assert texts("<<=") == ["<<="]
+        assert texts("<<") == ["<<"]
+        assert texts("<= <") == ["<=", "<"]
+        assert texts("->") == ["->"]
+        assert texts("...") == ["..."]
+
+    def test_increment_vs_plus(self):
+        assert texts("++ +") == ["++", "+"]
+
+    def test_all_operators_lex(self):
+        source = "+ - * / % & | ^ ~ ! < > = ( ) { } [ ] ; , . && || == !="
+        assert all(k == TK_PUNCT for k in kinds(source)[:-1])
+
+    def test_unknown_character_raises(self):
+        with pytest.raises(LexError):
+            tokenize("$")
+
+
+class TestTrivia:
+    def test_line_comment_skipped(self):
+        assert texts("a // comment\n b") == ["a", "b"]
+
+    def test_block_comment_skipped(self):
+        assert texts("a /* x\n y */ b") == ["a", "b"]
+
+    def test_unterminated_block_comment_raises(self):
+        with pytest.raises(LexError):
+            tokenize("/* never ends")
+
+    def test_preprocessor_lines_skipped(self):
+        assert texts("#define X 1\na") == ["a"]
+
+    def test_locations_track_lines(self):
+        toks = tokenize("a\n  b")
+        assert toks[0].loc.line == 1
+        assert toks[1].loc.line == 2
+        assert toks[1].loc.col == 3

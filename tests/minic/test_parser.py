@@ -1,0 +1,219 @@
+"""Parser unit tests."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.minic import ast_nodes as ast
+from repro.minic.parser import parse
+
+
+def parse_expr(text):
+    prog = parse(f"int f() {{ return {text}; }}")
+    func = prog.decls[0]
+    return func.body.stmts[0].value
+
+
+def parse_stmt(text):
+    prog = parse(f"void f() {{ {text} }}")
+    return prog.decls[0].body.stmts[0]
+
+
+class TestTopLevel:
+    def test_empty_program(self):
+        assert parse("").decls == []
+
+    def test_global_variable(self):
+        decl = parse("int x;").decls[0]
+        assert isinstance(decl, ast.GlobalVar)
+        assert decl.name == "x"
+
+    def test_global_with_init(self):
+        decl = parse("int x = 42;").decls[0]
+        assert isinstance(decl.init, ast.IntLit)
+
+    def test_global_array(self):
+        decl = parse("char buf[64];").decls[0]
+        assert decl.decl_type.array_len == 64
+
+    def test_function_definition(self):
+        decl = parse("int f(int a, char *b) { return 0; }").decls[0]
+        assert isinstance(decl, ast.FuncDef)
+        assert [p.name for p in decl.params] == ["a", "b"]
+        assert decl.params[1].decl_type.ptr == 1
+
+    def test_void_params(self):
+        decl = parse("int f(void) { return 0; }").decls[0]
+        assert decl.params == []
+
+    def test_prototype(self):
+        decl = parse("int f(int x);").decls[0]
+        assert decl.body is None
+
+    def test_extern_trusted(self):
+        decl = parse("extern trusted int recv(int fd, char *b, int n);").decls[0]
+        assert decl.trusted and decl.extern
+
+    def test_varargs(self):
+        decl = parse("int f(char *fmt, ...);").decls[0]
+        assert decl.varargs
+
+    def test_struct_definition(self):
+        decl = parse("struct p { int x; int y; };").decls[0]
+        assert isinstance(decl, ast.StructDef)
+        assert [name for _t, name in decl.fields] == ["x", "y"]
+
+    def test_private_qualifier(self):
+        decl = parse("private int secret;").decls[0]
+        assert decl.decl_type.private
+
+    def test_private_pointer_base(self):
+        decl = parse("private char *p;").decls[0]
+        assert decl.decl_type.private and decl.decl_type.ptr == 1
+
+    def test_function_pointer_declarator(self):
+        decl = parse("int (*handler)(int, char*);").decls[0]
+        assert decl.decl_type.func is not None
+        assert len(decl.decl_type.func.params) == 2
+
+    def test_function_pointer_param(self):
+        decl = parse("int apply(int (*f)(int), int x) { return 0; }").decls[0]
+        assert decl.params[0].decl_type.func is not None
+
+    def test_extern_with_body_rejected(self):
+        with pytest.raises(ParseError):
+            parse("extern int f() { return 0; }")
+
+
+class TestStatements:
+    def test_if_else(self):
+        stmt = parse_stmt("if (1) { } else { }")
+        assert isinstance(stmt, ast.If)
+        assert stmt.els is not None
+
+    def test_dangling_else_binds_inner(self):
+        stmt = parse_stmt("if (1) if (2) { } else { }")
+        assert stmt.els is None
+        assert stmt.then.els is not None
+
+    def test_while(self):
+        assert isinstance(parse_stmt("while (1) { }"), ast.While)
+
+    def test_for_full(self):
+        stmt = parse_stmt("for (int i = 0; i < 3; i++) { }")
+        assert isinstance(stmt.init, ast.LocalDecl)
+        assert stmt.cond is not None and stmt.step is not None
+
+    def test_for_empty_clauses(self):
+        stmt = parse_stmt("for (;;) { break; }")
+        assert stmt.init is None and stmt.cond is None and stmt.step is None
+
+    def test_break_continue(self):
+        assert isinstance(parse_stmt("break;"), ast.Break)
+        assert isinstance(parse_stmt("continue;"), ast.Continue)
+
+    def test_return_void(self):
+        assert parse_stmt("return;").value is None
+
+    def test_local_decl_with_init(self):
+        stmt = parse_stmt("int x = 5;")
+        assert isinstance(stmt, ast.LocalDecl)
+
+    def test_local_array(self):
+        stmt = parse_stmt("char buf[32];")
+        assert stmt.decl_type.array_len == 32
+
+
+class TestExpressions:
+    def test_precedence_mul_over_add(self):
+        e = parse_expr("1 + 2 * 3")
+        assert e.op == "+"
+        assert e.right.op == "*"
+
+    def test_precedence_shift_below_add(self):
+        e = parse_expr("1 << 2 + 3")
+        assert e.op == "<<"
+
+    def test_precedence_comparison_below_shift(self):
+        e = parse_expr("1 < 2 >> 3")
+        assert e.op == "<"
+
+    def test_logical_lowest(self):
+        e = parse_expr("1 == 2 && 3 < 4")
+        assert e.op == "&&"
+
+    def test_parentheses(self):
+        e = parse_expr("(1 + 2) * 3")
+        assert e.op == "*"
+
+    def test_unary_chain(self):
+        e = parse_expr("!~-x")
+        assert e.op == "!"
+        assert e.operand.op == "~"
+        assert e.operand.operand.op == "-"
+
+    def test_deref_and_addrof(self):
+        e = parse_expr("*&x")
+        assert e.op == "*"
+        assert e.operand.op == "&"
+
+    def test_assignment_right_assoc(self):
+        prog = parse("void f() { a = b = 1; }")
+        expr = prog.decls[0].body.stmts[0].expr
+        assert isinstance(expr, ast.Assign)
+        assert isinstance(expr.value, ast.Assign)
+
+    def test_compound_assignment(self):
+        prog = parse("void f() { x += 2; }")
+        expr = prog.decls[0].body.stmts[0].expr
+        assert expr.op == "+"
+
+    def test_call_with_args(self):
+        e = parse_expr("f(1, 2, 3)")
+        assert isinstance(e, ast.Call)
+        assert len(e.args) == 3
+
+    def test_index_chains(self):
+        e = parse_expr("a[1]")
+        assert isinstance(e, ast.Index)
+
+    def test_member_access(self):
+        dot = parse_expr("s.x")
+        arrow = parse_expr("p->x")
+        assert isinstance(dot, ast.Member) and not dot.arrow
+        assert isinstance(arrow, ast.Member) and arrow.arrow
+
+    def test_cast(self):
+        e = parse_expr("(private char*)p")
+        assert isinstance(e, ast.Cast)
+        assert e.to.private and e.to.ptr == 1
+
+    def test_cast_vs_parenthesized_expr(self):
+        e = parse_expr("(p)")
+        assert isinstance(e, ast.Ident)
+
+    def test_sizeof(self):
+        e = parse_expr("sizeof(int)")
+        assert isinstance(e, ast.SizeofType)
+
+    def test_vararg_builtin(self):
+        prog = parse("int f(char *s, ...) { return __vararg(0); }")
+        expr = prog.decls[0].body.stmts[0].value
+        assert isinstance(expr, ast.VarArg)
+
+    def test_postfix_increment(self):
+        prog = parse("void f() { x++; }")
+        expr = prog.decls[0].body.stmts[0].expr
+        assert isinstance(expr, ast.IncDec)
+        assert expr.delta == 1
+
+    def test_string_literal(self):
+        e = parse_expr('"hi"')
+        assert isinstance(e, ast.StringLit)
+
+    def test_missing_semicolon_raises(self):
+        with pytest.raises(ParseError):
+            parse("void f() { return 0 }")
+
+    def test_unbalanced_paren_raises(self):
+        with pytest.raises(ParseError):
+            parse("void f() { g(1; }")

@@ -1,0 +1,108 @@
+"""Type-model unit tests: sizes, layout, taints."""
+
+from repro.minic.types import (
+    ArrayType,
+    FuncType,
+    IntType,
+    PointerType,
+    StructType,
+    VoidType,
+    concretize,
+    taint_positions,
+)
+from repro.taint import PRIVATE, PUBLIC, TaintVar
+from repro.taint.solve import ConstraintSet, solve
+
+
+class TestSizes:
+    def test_int_is_8_bytes(self):
+        assert IntType(8).size == 8
+
+    def test_char_is_1_byte(self):
+        assert IntType(1).size == 1
+
+    def test_pointer_is_8_bytes(self):
+        assert PointerType(IntType(1)).size == 8
+
+    def test_array_size(self):
+        assert ArrayType(IntType(8), 10).size == 80
+        assert ArrayType(IntType(1), 10).size == 10
+
+    def test_void_is_empty(self):
+        assert VoidType().size == 0
+
+
+class TestStructLayout:
+    def make(self, fields):
+        s = StructType("s")
+        s.set_fields(fields)
+        return s
+
+    def test_sequential_offsets(self):
+        s = self.make([("a", IntType(8)), ("b", IntType(8))])
+        assert s.field("a").offset == 0
+        assert s.field("b").offset == 8
+        assert s.size == 16
+
+    def test_char_then_int_padding(self):
+        s = self.make([("c", IntType(1)), ("n", IntType(8))])
+        assert s.field("n").offset == 8
+        assert s.size == 16
+
+    def test_trailing_padding(self):
+        s = self.make([("n", IntType(8)), ("c", IntType(1))])
+        assert s.size == 16
+
+    def test_char_only_struct(self):
+        s = self.make([("a", IntType(1)), ("b", IntType(1))])
+        assert s.size == 2
+        assert s.align == 1
+
+    def test_unknown_field_is_none(self):
+        s = self.make([("a", IntType(8))])
+        assert s.field("zz") is None
+
+    def test_with_taint_shares_layout(self):
+        s = self.make([("a", IntType(8))])
+        t = s.with_taint(PRIVATE)
+        assert t.taint is PRIVATE
+        assert t.size == s.size
+        assert t.field("a") is s.field("a")
+
+
+class TestTaintStructure:
+    def test_taint_positions_pointer_chain(self):
+        t = PointerType(PointerType(IntType(8, PRIVATE)))
+        positions = taint_positions(t)
+        assert len(positions) == 3
+        assert positions[-1] is PRIVATE
+
+    def test_array_taint_is_element_taint(self):
+        arr = ArrayType(IntType(1, PRIVATE), 4)
+        assert arr.taint is PRIVATE
+
+    def test_concretize_resolves_vars(self):
+        var = TaintVar("x")
+        cs = ConstraintSet()
+        cs.add_le(PRIVATE, var)
+        solution = solve(cs)
+        t = concretize(PointerType(IntType(8, var)), solution)
+        assert t.pointee.taint is PRIVATE
+
+    def test_concretize_defaults_public(self):
+        var = TaintVar("unconstrained")
+        solution = solve(ConstraintSet())
+        t = concretize(IntType(8, var), solution)
+        assert t.taint is PUBLIC
+
+    def test_same_shape_ignores_taint(self):
+        a = PointerType(IntType(8, PRIVATE))
+        b = PointerType(IntType(8, PUBLIC))
+        assert a.same_shape(b)
+
+    def test_same_shape_func(self):
+        f1 = FuncType(IntType(8), [IntType(8)], False)
+        f2 = FuncType(IntType(8), [IntType(8)], False)
+        f3 = FuncType(IntType(8), [IntType(1)], False)
+        assert f1.same_shape(f2)
+        assert not f1.same_shape(f3)

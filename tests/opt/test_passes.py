@@ -1,0 +1,224 @@
+"""Optimizer pass tests: correctness preservation and effectiveness."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import BASE, OUR_MPX
+from repro.frontend import lower_program
+from repro.ir import Bin, Const, Copy, Load, Store, verify_module
+from repro.minic import analyze, parse
+from repro.opt import (
+    copyprop_and_fold,
+    cse_local,
+    dce,
+    optimize_module,
+    promote_slots,
+    simplify_cfg,
+)
+from tests.conftest import run_minic
+
+
+def ir_of(source, optimize=None):
+    module = lower_program(analyze(parse(source)))
+    if optimize:
+        optimize(module)
+    return module
+
+
+def count_instrs(func, klass):
+    return sum(
+        isinstance(i, klass) for b in func.blocks for i in b.instrs
+    )
+
+
+class TestPromoteSlots:
+    SOURCE = """
+    int f(int n) {
+        int s = 0;
+        for (int i = 0; i < n; i++) { s += i; }
+        return s;
+    }
+    """
+
+    def test_scalars_promoted(self):
+        module = ir_of(self.SOURCE)
+        f = module.functions["f"]
+        assert len(f.slots) == 3  # n, s, i
+        promote_slots(f)
+        assert len(f.slots) == 0
+        verify_module(module)
+
+    def test_address_taken_not_promoted(self):
+        module = ir_of(
+            """
+            int f() { int x = 1; int *p = &x; *p = 5; return x; }
+            """
+        )
+        f = module.functions["f"]
+        promote_slots(f)
+        assert any(s.name == "x" for s in f.slots)
+
+    def test_arrays_not_promoted(self):
+        module = ir_of("int f() { int a[4]; a[0] = 1; return a[0]; }")
+        f = module.functions["f"]
+        promote_slots(f)
+        assert any(s.name == "a" for s in f.slots)
+
+    def test_promotion_reduces_memory_traffic(self):
+        module = ir_of(self.SOURCE)
+        f = module.functions["f"]
+        before = count_instrs(f, Load) + count_instrs(f, Store)
+        promote_slots(f)
+        after = count_instrs(f, Load) + count_instrs(f, Store)
+        assert after < before
+
+
+class TestFoldAndDCE:
+    def test_constant_expressions_fold(self):
+        module = ir_of("int f() { return (3 + 4) * (10 - 4); }")
+        f = module.functions["f"]
+        promote_slots(f)
+        copyprop_and_fold(f)
+        dce(f)
+        simplify_cfg(f)
+        # The whole body should reduce to "ret 42".
+        assert len(f.blocks) == 1
+        assert len(f.blocks[0].instrs) == 1
+
+    def test_dead_loads_removed(self):
+        module = ir_of(
+            "int g;\nint f() { int dead = g; return 7; }"
+        )
+        f = module.functions["f"]
+        promote_slots(f)
+        copyprop_and_fold(f)
+        changed = dce(f)
+        assert changed
+        assert count_instrs(f, Load) == 0
+
+    def test_stores_never_removed(self):
+        module = ir_of("int g;\nvoid f() { g = 1; }")
+        f = module.functions["f"]
+        optimize_module(module)
+        assert count_instrs(module.functions["f"], Store) == 1
+
+    def test_branch_on_constant_folds(self):
+        module = ir_of("int f() { if (1) { return 3; } return 4; }")
+        optimize_module(module)
+        f = module.functions["f"]
+        assert len(f.blocks) == 1
+
+
+class TestSimplifyCFG:
+    def test_unreachable_blocks_removed(self):
+        module = ir_of(
+            "int f() { return 1; int x = 2; return x; }"
+        )
+        f = module.functions["f"]
+        optimize_module(module)
+        assert len(f.blocks) == 1
+
+    def test_jump_threading(self):
+        module = ir_of(
+            """
+            int f(int c) {
+                int r = 0;
+                if (c) { r = 1; } else { r = 2; }
+                return r;
+            }
+            """
+        )
+        optimize_module(module)
+        verify_module(module)
+
+
+class TestCSE:
+    def test_redundant_exprs_deduped(self):
+        module = ir_of(
+            """
+            int f(int a, int b) {
+                int x = a * b + 3;
+                int y = a * b + 4;
+                return x + y;
+            }
+            """
+        )
+        f = module.functions["f"]
+        promote_slots(f)
+        copyprop_and_fold(f)
+        muls_before = sum(
+            1
+            for b in f.blocks
+            for i in b.instrs
+            if isinstance(i, Bin) and i.op == "mul"
+        )
+        cse_local(f)
+        copyprop_and_fold(f)
+        dce(f)
+        muls_after = sum(
+            1
+            for b in f.blocks
+            for i in b.instrs
+            if isinstance(i, Bin) and i.op == "mul"
+        )
+        assert muls_before == 2
+        assert muls_after == 1
+
+    def test_cse_only_runs_in_vanilla_pipeline(self):
+        source = """
+        int f(int a, int b) { return (a * b) + (a * b); }
+        """
+        mod_vanilla = ir_of(source)
+        optimize_module(mod_vanilla, pipeline="vanilla")
+        mod_conf = ir_of(source)
+        optimize_module(mod_conf, pipeline="confllvm")
+
+        def muls(m):
+            return sum(
+                1
+                for blk in m.functions["f"].blocks
+                for i in blk.instrs
+                if isinstance(i, Bin) and i.op == "mul"
+            )
+
+        assert muls(mod_vanilla) == 1
+        assert muls(mod_conf) == 2
+
+
+class TestSemanticPreservation:
+    """Differential testing: O0-ish vs full pipelines must agree."""
+
+    PROGRAMS = [
+        ("int main() { int s=0; for (int i=0;i<17;i++){ s+=i*i; } return s & 255; }", None),
+        ("int main() { int a[6]; for (int i=0;i<6;i++){a[i]=i;} int s=0;"
+         " for (int i=0;i<6;i++){s=s*10+a[5-i];} return s & 255; }", None),
+        ("int f(int x){ if (x>3){return x*2;} return x+100; }"
+         " int main(){ return f(2)+f(10); }", None),
+    ]
+
+    @pytest.mark.parametrize("source,_", PROGRAMS)
+    def test_base_and_confllvm_agree(self, source, _):
+        rc_base, _p = run_minic(source, BASE)
+        rc_mpx, _p = run_minic(source, OUR_MPX)
+        assert rc_base == rc_mpx
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.sampled_from(["+", "-", "*", "&", "|", "^"]),
+                st.integers(0, 200),
+            ),
+            min_size=1,
+            max_size=12,
+        )
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_random_expression_chains(self, ops):
+        body = "int x = 1;\n"
+        for op, value in ops:
+            body += f"    x = (x {op} {value}) & 0xffff;\n"
+        source = f"int main() {{\n{body}    return x & 127; }}"
+        rc_base, _ = run_minic(source, BASE)
+        rc_mpx, _ = run_minic(source, OUR_MPX)
+        assert rc_base == rc_mpx

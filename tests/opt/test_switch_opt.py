@@ -1,0 +1,69 @@
+"""Optimizer interaction with SwitchBr."""
+
+from repro.frontend import lower_program
+from repro.ir.core import Jump, SwitchBr
+from repro.minic import analyze, parse
+from repro.opt import optimize_module
+from tests.conftest import run_minic
+from repro import BASE, OUR_MPX
+
+
+def terminators(module, fname):
+    return [b.terminator for b in module.functions[fname].blocks]
+
+
+class TestSwitchFolding:
+    def test_constant_scrutinee_folds_to_jump(self):
+        module = lower_program(analyze(parse(
+            """
+            int f() {
+                switch (2) { case 1: return 10; case 2: return 20; }
+                return 0;
+            }
+            """
+        )))
+        optimize_module(module)
+        assert not any(
+            isinstance(t, SwitchBr) for t in terminators(module, "f")
+        )
+
+    def test_constant_miss_folds_to_default(self):
+        module = lower_program(analyze(parse(
+            """
+            int f() {
+                switch (77) { case 1: return 10; default: return 5; }
+                return 0;
+            }
+            """
+        )))
+        optimize_module(module)
+        assert not any(
+            isinstance(t, SwitchBr) for t in terminators(module, "f")
+        )
+
+    def test_folded_switch_still_correct(self):
+        source = """
+        int main() {
+            int r = 0;
+            switch (3) { case 1: r = 1; break; case 3: r = 33; break;
+                         default: r = 9; }
+            return r;
+        }
+        """
+        for config in (BASE, OUR_MPX):
+            rc, _ = run_minic(source, config)
+            assert rc == 33
+
+    def test_dynamic_switch_survives(self):
+        module = lower_program(analyze(parse(
+            """
+            int f(int x) {
+                switch (x) { case 1: return 10; case 2: return 20; }
+                return 0;
+            }
+            """
+        )))
+        optimize_module(module)
+        assert any(
+            isinstance(t, SwitchBr) for t in terminators(module, "f")
+        )

@@ -1,0 +1,126 @@
+"""Allocator tests (region + native), including property-based ones."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.runtime.alloc import ALIGN, AllocError, NativeAllocator, RegionAllocator
+
+LO, HI = 0x10000, 0x30000
+
+
+@pytest.fixture(params=[RegionAllocator, NativeAllocator])
+def alloc(request):
+    return request.param(LO, HI)
+
+
+class TestBasics:
+    def test_malloc_in_range_and_aligned(self, alloc):
+        p = alloc.malloc(100)
+        assert alloc.contains(p)
+        assert p % ALIGN == 0
+
+    def test_allocations_disjoint(self, alloc):
+        blocks = [(alloc.malloc(64), 64) for _ in range(20)]
+        spans = sorted((p, p + n) for p, n in blocks)
+        for (a_lo, a_hi), (b_lo, b_hi) in zip(spans, spans[1:]):
+            assert a_hi <= b_lo
+
+    def test_free_then_reuse(self, alloc):
+        p = alloc.malloc(128)
+        alloc.free(p)
+        q = alloc.malloc(128)
+        assert alloc.contains(q)
+
+    def test_double_free_rejected(self, alloc):
+        p = alloc.malloc(16)
+        alloc.free(p)
+        with pytest.raises(AllocError):
+            alloc.free(p)
+
+    def test_invalid_free_rejected(self, alloc):
+        with pytest.raises(AllocError):
+            alloc.free(LO + 123)
+
+    def test_user_size(self, alloc):
+        p = alloc.malloc(100)
+        assert alloc.user_size(p) >= 100
+        alloc.free(p)
+        assert alloc.user_size(p) is None
+
+    def test_exhaustion_raises(self):
+        small = RegionAllocator(0, 1024)
+        with pytest.raises(AllocError):
+            small.malloc(10_000)
+
+    def test_zero_size_allowed(self, alloc):
+        p = alloc.malloc(0)
+        assert alloc.contains(p)
+
+
+class TestCoalescing:
+    def test_free_all_restores_full_capacity(self):
+        alloc = RegionAllocator(0, 64 * 1024)
+        pointers = [alloc.malloc(1000) for _ in range(50)]
+        for p in pointers:
+            alloc.free(p)
+        # After coalescing a near-full-region block must fit again.
+        big = alloc.malloc(60 * 1024)
+        assert alloc.contains(big)
+
+    def test_interleaved_free_coalesces_neighbours(self):
+        alloc = RegionAllocator(0, 16 * 1024)
+        a = alloc.malloc(1024)
+        b = alloc.malloc(1024)
+        c = alloc.malloc(1024)
+        alloc.free(a)
+        alloc.free(c)
+        alloc.free(b)  # b bridges a and c
+        assert alloc.contains(alloc.malloc(3000))
+
+
+class TestPlacementPolicies:
+    def test_region_allocator_is_compact(self):
+        alloc = RegionAllocator(LO, HI)
+        a = alloc.malloc(64)
+        b = alloc.malloc(64)
+        assert abs(b - a) < 256
+
+    def test_native_allocator_stripes(self):
+        alloc = NativeAllocator(LO, HI)
+        a = alloc.malloc(64)
+        b = alloc.malloc(64)
+        assert abs(b - a) > 1024  # different arenas
+
+    def test_native_op_cost_higher(self):
+        assert NativeAllocator.op_cost > RegionAllocator.op_cost
+
+
+@given(
+    st.lists(
+        st.one_of(
+            st.tuples(st.just("malloc"), st.integers(1, 2000)),
+            st.tuples(st.just("free"), st.integers(0, 30)),
+        ),
+        max_size=80,
+    ),
+    st.sampled_from([RegionAllocator, NativeAllocator]),
+)
+@settings(max_examples=120, deadline=None)
+def test_allocator_invariants_hold_under_any_sequence(ops, cls):
+    alloc = cls(LO, HI)
+    live: list[tuple[int, int]] = []
+    for op, value in ops:
+        if op == "malloc":
+            try:
+                p = alloc.malloc(value)
+            except AllocError:
+                continue
+            assert LO <= p and p + value <= HI
+            for q, n in live:
+                assert p + value <= q or q + n <= p, "overlap"
+            live.append((p, value))
+        elif live:
+            index = value % len(live)
+            p, _n = live.pop(index)
+            alloc.free(p)

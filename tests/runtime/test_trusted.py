@@ -1,0 +1,238 @@
+"""Trusted-library (T) tests: wrapper checks, channels, crypto."""
+
+import pytest
+
+from repro import BASE, OUR_MPX, TrustedRuntime
+from repro.errors import FAULT_WRAPPER, MachineFault
+from tests.conftest import run_minic
+
+
+class TestCryptoModel:
+    def test_xor_stream_roundtrip(self):
+        rt = TrustedRuntime()
+        data = b"some secret bytes" * 3
+        enc = rt.encrypt_with(rt.session_key, data)
+        assert enc != data
+        assert rt.encrypt_with(rt.session_key, enc) == data
+
+    def test_keys_differ(self):
+        rt = TrustedRuntime()
+        data = b"x" * 32
+        assert rt.encrypt_with(rt.session_key, data) != rt.encrypt_with(
+            rt.log_key, data
+        )
+
+
+class TestChannels:
+    def test_feed_take_fifo(self):
+        rt = TrustedRuntime()
+        ch = rt.channel(0)
+        ch.feed(b"abcdef")
+        assert ch.take(2) == b"ab"
+        assert ch.take(10) == b"cdef"
+        assert ch.take(4) == b""
+
+    def test_outbox_drain(self):
+        rt = TrustedRuntime()
+        ch = rt.channel(1)
+        ch.outbox += b"xyz"
+        assert ch.drain_out() == b"xyz"
+        assert ch.drain_out() == b""
+
+
+class TestWrapperRangeChecks:
+    def test_send_rejects_private_buffer(self, runtime):
+        source = """
+        int main() {
+            private char s[8];
+            read_passwd("u", s, 8);
+            send(1, (char*)s, 8);   // cast lie, caught by the wrapper
+            return 0;
+        }
+        """
+        runtime.set_password("u", b"pw")
+        with pytest.raises(MachineFault) as e:
+            run_minic(source, OUR_MPX, runtime=runtime)
+        assert e.value.kind == FAULT_WRAPPER
+
+    def test_read_passwd_rejects_public_buffer(self, runtime):
+        source = """
+        int main() {
+            char s[8];
+            read_passwd("u", (private char*)s, 8);
+            return 0;
+        }
+        """
+        with pytest.raises(MachineFault) as e:
+            run_minic(source, OUR_MPX, runtime=runtime)
+        assert e.value.kind == FAULT_WRAPPER
+
+    def test_out_of_region_pointer_rejected(self, runtime):
+        source = """
+        int main() {
+            send(1, (char*)0x999, 8);   // points nowhere in U
+            return 0;
+        }
+        """
+        with pytest.raises(MachineFault) as e:
+            run_minic(source, OUR_MPX, runtime=runtime)
+        assert e.value.kind == FAULT_WRAPPER
+
+    def test_unprotected_config_does_not_enforce(self, runtime):
+        # Base has no private region: the same cast lie goes through
+        # (and leaks) — that is the vulnerable baseline.
+        source = """
+        int main() {
+            private char s[8];
+            read_passwd("u", s, 8);
+            send(1, (char*)s, 8);
+            return 0;
+        }
+        """
+        runtime.set_password("u", b"hunter22")
+        rc, _ = run_minic(source, BASE, runtime=runtime)
+        assert runtime.channel(1).drain_out() == b"hunter22"
+
+
+class TestTFunctions:
+    def test_recv_send_roundtrip(self, runtime):
+        runtime.channel(0).feed(b"ping!")
+        source = """
+        int main() {
+            char buf[16];
+            int n = recv(0, buf, 16);
+            send(1, buf, n);
+            return n;
+        }
+        """
+        rc, _ = run_minic(source, OUR_MPX, runtime=runtime)
+        assert rc == 5
+        assert runtime.channel(1).drain_out() == b"ping!"
+
+    def test_file_io(self, runtime):
+        runtime.add_file("data.txt", b"contents")
+        source = """
+        int main() {
+            char buf[32];
+            int n = read_file("data.txt", buf, 32);
+            buf[n] = '!';
+            write_file("copy.txt", buf, n + 1);
+            return file_size("copy.txt");
+        }
+        """
+        rc, _ = run_minic(source, OUR_MPX, runtime=runtime)
+        assert rc == 9
+        assert runtime.files[b"copy.txt"] == b"contents!"
+
+    def test_missing_file_returns_minus_one(self, runtime):
+        source = """
+        int main() {
+            char buf[8];
+            return read_file("nope", buf, 8) + 100;
+        }
+        """
+        rc, _ = run_minic(source, OUR_MPX, runtime=runtime)
+        assert rc == 99
+
+    def test_decrypt_encrypt_roundtrip(self, runtime):
+        plain = b"0123456789abcdef"
+        runtime.channel(0).feed(
+            runtime.encrypt_with(runtime.session_key, plain)
+        )
+        source = """
+        int main() {
+            char wire[16];
+            private char clear[16];
+            char back[16];
+            recv(0, wire, 16);
+            decrypt(wire, clear, 16);
+            encrypt(clear, back, 16);
+            send(1, back, 16);
+            return 0;
+        }
+        """
+        run_minic(source, OUR_MPX, runtime=runtime)
+        out = runtime.channel(1).drain_out()
+        assert runtime.encrypt_with(runtime.session_key, out) == plain
+
+    def test_cmp_secret_declassifies_equality(self, runtime):
+        runtime.set_password("alice", b"sesame")
+        source = """
+        int main() {
+            private char a[8];
+            private char b[8];
+            read_passwd("alice", a, 8);
+            read_passwd("alice", b, 8);
+            return cmp_secret(a, b, 8);
+        }
+        """
+        rc, _ = run_minic(source, OUR_MPX, runtime=runtime)
+        assert rc == 0
+
+    def test_hash64_deterministic(self, runtime):
+        source = """
+        int main() {
+            private char data[32];
+            for (int i = 0; i < 32; i++) { data[i] = (private char)i; }
+            int h1 = hash64(data, 32);
+            int h2 = hash64(data, 32);
+            return h1 == h2;
+        }
+        """
+        rc, _ = run_minic(source, OUR_MPX, runtime=runtime)
+        assert rc == 1
+
+    def test_print_outputs(self, runtime):
+        source = """
+        int main() { print_str("hello"); print_int(-5); return 0; }
+        """
+        _, process = run_minic(source, OUR_MPX, runtime=runtime)
+        assert process.stdout == ["hello", "-5"]
+
+    def test_log_write(self, runtime):
+        source = """
+        int main() { log_write("entry", 5); return 0; }
+        """
+        run_minic(source, OUR_MPX, runtime=runtime)
+        assert bytes(runtime.log) == b"entry"
+
+    def test_threads_spawn_and_join(self, runtime):
+        source = """
+        int g;
+        int worker(int arg) { g += arg; return 0; }
+        int main() {
+            int t1 = thread_create((int)&worker, 10);
+            int t2 = thread_create((int)&worker, 32);
+            thread_join(t1);
+            thread_join(t2);
+            return g;
+        }
+        """
+        rc, _ = run_minic(source, OUR_MPX, runtime=runtime)
+        assert rc == 42
+
+    def test_clock_monotonic(self, runtime):
+        source = """
+        int main() {
+            int t0 = clock_cycles();
+            for (int i = 0; i < 50; i++) { }
+            int t1 = clock_cycles();
+            return t1 > t0;
+        }
+        """
+        rc, _ = run_minic(source, OUR_MPX, runtime=runtime)
+        assert rc == 1
+
+    def test_rand_bounded(self, runtime):
+        source = """
+        int main() {
+            for (int i = 0; i < 20; i++) {
+                int r = rand_int(10);
+                if (r < 0) { return 1; }
+                if (r >= 10) { return 2; }
+            }
+            return 0;
+        }
+        """
+        rc, _ = run_minic(source, OUR_MPX, runtime=runtime)
+        assert rc == 0

@@ -1,0 +1,149 @@
+"""Taint lattice and constraint-solver tests (with hypothesis)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import TaintError
+from repro.taint import (
+    PRIVATE,
+    PUBLIC,
+    ConstraintSet,
+    Taint,
+    TaintVar,
+    join,
+    leq,
+    solve,
+)
+
+
+class TestLattice:
+    def test_ordering(self):
+        assert leq(PUBLIC, PRIVATE)
+        assert leq(PUBLIC, PUBLIC)
+        assert leq(PRIVATE, PRIVATE)
+        assert not leq(PRIVATE, PUBLIC)
+
+    def test_join(self):
+        assert join(PUBLIC, PUBLIC) is PUBLIC
+        assert join(PUBLIC, PRIVATE) is PRIVATE
+        assert join(PRIVATE, PUBLIC) is PRIVATE
+        assert join(PRIVATE, PRIVATE) is PRIVATE
+
+    def test_bits(self):
+        assert PUBLIC.bit == 0
+        assert PRIVATE.bit == 1
+
+    def test_fresh_vars_distinct(self):
+        assert TaintVar("a").uid != TaintVar("a").uid
+
+
+class TestSolver:
+    def test_empty_set_solves(self):
+        solution = solve(ConstraintSet())
+        assert solution.resolve(TaintVar()) is PUBLIC
+
+    def test_chain_propagation(self):
+        a, b, c = TaintVar("a"), TaintVar("b"), TaintVar("c")
+        cs = ConstraintSet()
+        cs.add_le(PRIVATE, a)
+        cs.add_le(a, b)
+        cs.add_le(b, c)
+        solution = solve(cs)
+        assert solution.resolve(c) is PRIVATE
+
+    def test_least_solution(self):
+        a, b = TaintVar("a"), TaintVar("b")
+        cs = ConstraintSet()
+        cs.add_le(a, b)  # nothing forces either up
+        solution = solve(cs)
+        assert solution.resolve(a) is PUBLIC
+        assert solution.resolve(b) is PUBLIC
+
+    def test_violation_raises_with_reason(self):
+        a = TaintVar("a")
+        cs = ConstraintSet()
+        cs.add_le(PRIVATE, a)
+        cs.add_le(a, PUBLIC, reason="send argument")
+        with pytest.raises(TaintError, match="send argument"):
+            solve(cs)
+
+    def test_eq_propagates_both_ways(self):
+        a, b = TaintVar("a"), TaintVar("b")
+        cs = ConstraintSet()
+        cs.add_eq(a, b)
+        cs.add_le(PRIVATE, b)
+        solution = solve(cs)
+        assert solution.resolve(a) is PRIVATE
+
+    def test_diamond(self):
+        a, b, c, d = (TaintVar(x) for x in "abcd")
+        cs = ConstraintSet()
+        cs.add_le(a, b)
+        cs.add_le(a, c)
+        cs.add_le(b, d)
+        cs.add_le(c, d)
+        cs.add_le(PRIVATE, a)
+        solution = solve(cs)
+        assert all(solution.resolve(v) is PRIVATE for v in (a, b, c, d))
+
+    def test_cycle_is_fine(self):
+        a, b = TaintVar("a"), TaintVar("b")
+        cs = ConstraintSet()
+        cs.add_le(a, b)
+        cs.add_le(b, a)
+        cs.add_le(PRIVATE, a)
+        solution = solve(cs)
+        assert solution.resolve(b) is PRIVATE
+
+
+@st.composite
+def constraint_systems(draw):
+    n_vars = draw(st.integers(2, 12))
+    variables = [TaintVar(f"v{i}") for i in range(n_vars)]
+    n_cons = draw(st.integers(0, 25))
+    constraints = []
+    for _ in range(n_cons):
+        lo = draw(st.sampled_from(variables + [PUBLIC, PRIVATE]))
+        hi = draw(st.sampled_from(variables))
+        constraints.append((lo, hi))
+    return variables, constraints
+
+
+class TestSolverProperties:
+    @given(constraint_systems())
+    @settings(max_examples=200, deadline=None)
+    def test_solution_satisfies_all_constraints(self, system):
+        variables, constraints = system
+        cs = ConstraintSet()
+        for lo, hi in constraints:
+            cs.add_le(lo, hi)
+        solution = solve(cs)  # hi is always a var, so always solvable
+        for lo, hi in constraints:
+            assert leq(solution.resolve(lo), solution.resolve(hi))
+
+    @given(constraint_systems())
+    @settings(max_examples=200, deadline=None)
+    def test_solution_is_least(self, system):
+        """No variable is PRIVATE unless some constraint chain from the
+        PRIVATE constant forces it."""
+        variables, constraints = system
+        cs = ConstraintSet()
+        for lo, hi in constraints:
+            cs.add_le(lo, hi)
+        solution = solve(cs)
+        # Compute reachability from PRIVATE through the constraint graph.
+        forced = set()
+        changed = True
+        while changed:
+            changed = False
+            for lo, hi in constraints:
+                lo_hot = (lo is PRIVATE) or (
+                    isinstance(lo, TaintVar) and lo.uid in forced
+                )
+                if lo_hot and isinstance(hi, TaintVar) and hi.uid not in forced:
+                    forced.add(hi.uid)
+                    changed = True
+        for v in variables:
+            expected = PRIVATE if v.uid in forced else PUBLIC
+            assert solution.resolve(v) is expected

@@ -1,0 +1,104 @@
+"""Configuration presets and error-hierarchy tests."""
+
+import pytest
+
+from repro.config import (
+    ALL_CONFIGS,
+    BASE,
+    BASE_OA,
+    NGINX_CONFIGS,
+    OUR_1MEM,
+    OUR_BARE,
+    OUR_CFI,
+    OUR_MPX,
+    OUR_MPX_SEP,
+    OUR_SEG,
+    SPEC_CONFIGS,
+)
+from repro import errors
+
+
+class TestPresets:
+    def test_eight_configurations(self):
+        assert len(ALL_CONFIGS) == 8
+
+    def test_base_is_uninstrumented_vanilla(self):
+        assert BASE.pipeline == "vanilla"
+        assert not BASE.instrumented
+        assert not BASE.custom_allocator
+        assert not BASE.separate_tu
+
+    def test_base_oa_differs_only_in_allocator(self):
+        assert BASE_OA.custom_allocator
+        assert BASE_OA.variant(custom_allocator=False, name="Base") == BASE
+
+    def test_our1mem_has_confllvm_pipeline_without_separation(self):
+        assert OUR_1MEM.is_confllvm
+        assert not OUR_1MEM.separate_tu
+        assert not OUR_1MEM.instrumented
+
+    def test_layering_bare_cfi_mpx(self):
+        assert not OUR_BARE.cfi and OUR_BARE.separate_tu
+        assert OUR_CFI.cfi and OUR_CFI.scheme is None
+        assert OUR_MPX.cfi and OUR_MPX.scheme == "mpx"
+        assert OUR_SEG.cfi and OUR_SEG.scheme == "seg"
+
+    def test_mpx_sep_only_merges_stacks(self):
+        assert OUR_MPX_SEP.scheme == "mpx"
+        assert not OUR_MPX_SEP.split_stacks
+        assert OUR_MPX.split_stacks
+
+    def test_variant_is_functional(self):
+        ablated = OUR_MPX.variant(coalesce_checks=False)
+        assert not ablated.coalesce_checks
+        assert OUR_MPX.coalesce_checks  # original untouched
+
+    def test_experiment_config_tuples(self):
+        assert BASE in SPEC_CONFIGS and OUR_SEG in SPEC_CONFIGS
+        assert OUR_MPX_SEP in NGINX_CONFIGS and OUR_1MEM in NGINX_CONFIGS
+
+    def test_configs_are_frozen(self):
+        with pytest.raises(Exception):
+            OUR_MPX.cfi = False
+
+
+class TestErrorHierarchy:
+    def test_toolchain_errors_share_a_base(self):
+        for cls in (
+            errors.LexError,
+            errors.ParseError,
+            errors.SemaError,
+            errors.TaintError,
+            errors.ImplicitFlowError,
+            errors.IRError,
+            errors.CodegenError,
+            errors.LinkError,
+            errors.LoadError,
+            errors.VerifyError,
+        ):
+            assert issubclass(cls, errors.ReproError), cls
+
+    def test_machine_fault_is_not_a_toolchain_error(self):
+        assert not issubclass(errors.MachineFault, errors.ReproError)
+
+    def test_source_errors_carry_location(self):
+        loc = errors.SourceLocation(3, 7, "x.mc")
+        err = errors.TaintError("bad flow", loc)
+        assert "x.mc:3:7" in str(err)
+        assert err.loc.line == 3
+
+    def test_verify_error_reason_tag(self):
+        err = errors.VerifyError("missing-bounds-check", "at f@12")
+        assert err.reason == "missing-bounds-check"
+        assert "at f@12" in str(err)
+
+    def test_fault_kinds_render(self):
+        fault = errors.MachineFault(errors.FAULT_BOUNDS, "oops", addr=0x10)
+        assert fault.kind == errors.FAULT_BOUNDS
+        assert "0x10" in str(fault)
+
+    def test_location_equality(self):
+        a = errors.SourceLocation(1, 2, "f")
+        b = errors.SourceLocation(1, 2, "f")
+        c = errors.SourceLocation(1, 3, "f")
+        assert a == b and a != c

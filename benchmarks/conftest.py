@@ -13,8 +13,17 @@ from __future__ import annotations
 import pytest
 
 
+def pytest_collection_modifyitems(items):
+    # Everything under benchmarks/ is a paper-evaluation suite: mark it
+    # so tier-1 runs can deselect with `-m "not benchmarks"`.
+    for item in items:
+        item.add_marker(pytest.mark.benchmarks)
+
+
 def overhead_pct(base: float, ours: float) -> float:
     """Percent overhead of `ours` relative to `base` (positive=slower)."""
+    if not base:
+        return 0.0
     return 100.0 * (ours - base) / base
 
 

@@ -1,0 +1,45 @@
+#!/bin/sh
+# End-to-end smoke test: compile and run the quickstart program under
+# OurMPX with tracing + stats on, then assert the emitted Chrome trace
+# is valid JSON containing both compile-stage (wall) and machine
+# (cycle) spans.  Run from the repo root: sh scripts/smoke.sh
+set -eu
+
+cd "$(dirname "$0")/.."
+export PYTHONPATH=src
+
+WORK="$(mktemp -d)"
+trap 'rm -rf "$WORK"' EXIT
+SRC="$WORK/quickstart.mc"
+TRACE="$WORK/trace.json"
+
+# The quickstart's FIXED source already embeds the T prototypes, so the
+# CLI will not prepend them a second time.
+python - "$SRC" <<'PY'
+import sys
+
+from examples.quickstart import FIXED
+
+with open(sys.argv[1], "w") as handle:
+    handle.write(FIXED)
+PY
+
+python -m repro run --config OurMPX --seed 1 --stats --trace "$TRACE" "$SRC"
+
+python - "$TRACE" <<'PY'
+import json
+import sys
+
+with open(sys.argv[1]) as handle:
+    trace = json.load(handle)
+events = trace["traceEvents"]
+complete = [e for e in events if e["ph"] == "X"]
+assert complete, "trace has no complete events"
+for event in complete:
+    for key in ("name", "cat", "ts", "dur", "pid", "tid"):
+        assert key in event, f"event missing {key}: {event}"
+names = {e["name"] for e in complete}
+assert any(n.startswith("compile.") for n in names), names
+assert "machine.run" in names, names
+print(f"smoke OK: {len(complete)} spans, {len(names)} distinct")
+PY

@@ -27,6 +27,7 @@ from ..config import BuildConfig
 from ..errors import CodegenError
 from ..ir import core as ir
 from ..link.layout import MPX_STACK_OFFSET
+from ..obs import events
 from ..taint.lattice import PRIVATE, PUBLIC, Taint
 from . import isa, regs
 from .isa import Imm, Mem
@@ -57,7 +58,8 @@ class FunctionCodegen:
         self._module = module
         self._config = config
         self._out: list[isa.Insn] = []
-        self._assign: Assignment = allocate(func)
+        with events.span("compile.regalloc", function=func.name):
+            self._assign: Assignment = allocate(func)
         self._frame = self._layout_frame()
         # Per-block set of already-checked MPX keys (coalescing).
         self._checked: set = set()
@@ -283,14 +285,24 @@ class FunctionCodegen:
         ):
             key = ("reg", mem.base, bnd)
             if self._config.coalesce_checks and key in self._checked:
+                events.counter(
+                    "codegen.checks", kind="bnd", outcome="coalesced"
+                ).inc()
                 return
             self._checked.add(key)
+            events.counter(
+                "codegen.checks", kind="bnd", outcome="emitted"
+            ).inc()
             self._emit(isa.BndChk(bnd, reg=mem.base))
             return
         key = ("mem", mem.base, mem.index, mem.scale, mem.disp, bnd)
         if self._config.coalesce_checks and key in self._checked:
+            events.counter(
+                "codegen.checks", kind="bnd", outcome="coalesced"
+            ).inc()
             return
         self._checked.add(key)
+        events.counter("codegen.checks", kind="bnd", outcome="emitted").inc()
         self._emit(
             isa.BndChk(
                 bnd,
@@ -594,6 +606,9 @@ class FunctionCodegen:
             if isinstance(target, Imm):  # pragma: no cover
                 raise CodegenError("icall immediate")
             if cfg.cfi and not cfg.shadow_stack:
+                events.counter(
+                    "codegen.checks", kind="cfi", outcome="emitted"
+                ).inc()
                 self._emit(isa.CheckMagic(target, "call", site_bits))
             self._emit(isa.CallI(target))
         # 4. Return-site magic.
@@ -636,6 +651,9 @@ class FunctionCodegen:
         if cfg.cfi:
             ret_bit = _sig_ret_bit(self._func)
             self._emit(isa.Pop(regs.R11))
+            events.counter(
+                "codegen.checks", kind="cfi", outcome="emitted"
+            ).inc()
             self._emit(isa.CheckMagic(regs.R11, "ret", isa.mret_bits(ret_bit)))
             self._emit(isa.JmpReg(regs.R11, skip=1))
         else:
@@ -667,8 +685,9 @@ def compile_function(
     from ..link.objfile import CompiledFunction
     from ..minic.types import VoidType
 
-    gen = FunctionCodegen(func, module, config)
-    insns = gen.run()
+    with events.span("codegen.function", function=func.name):
+        gen = FunctionCodegen(func, module, config)
+        insns = gen.run()
     arg_taints = [p.taint for p in func.sig.params]
     ret_taint = (
         PUBLIC if isinstance(func.sig.ret, VoidType) else func.sig.ret.taint
@@ -690,10 +709,11 @@ def compile_module(module: ir.IRModule, config: BuildConfig):
     """Compile every function in a module into a UObject."""
     from ..link.objfile import UObject
 
-    functions = [
-        compile_function(func, module, config)
-        for func in module.functions.values()
-    ]
+    with events.span("compile.codegen", config=config.name):
+        functions = [
+            compile_function(func, module, config)
+            for func in module.functions.values()
+        ]
     imports = sorted(module.externs.values(), key=lambda e: e.name)
     return UObject(
         name=module.name,

@@ -6,21 +6,29 @@ run      compile a MiniC file and execute it on the simulated machine
 verify   compile and run ConfVerify on the result
 disasm   compile and print the linked instruction stream
 bench    run one source under every configuration and print overheads
+stats    per-configuration table of compile-stage times and check counts
 
 Common options: ``--config <name>`` (default OurMPX; see ``repro.config``),
 ``--file name=path`` to add RAM-disk files, ``--stdin-hex BYTES`` to feed
 channel 0, ``--seed N`` for deterministic magic selection.
+
+Observability: ``--trace out.json`` writes a Chrome-trace/Perfetto file
+covering both compiler stages (wall clock) and machine execution
+(simulated cycles); ``--metrics`` dumps every recorded counter and
+histogram as a table on stderr.  See docs/OBSERVABILITY.md.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 from .compiler import compile_source
 from .config import ALL_CONFIGS, OUR_MPX
 from .errors import MachineFault, ReproError
 from .link.loader import load
+from .obs import events, export
 from .runtime.trusted import T_PROTOTYPES, TrustedRuntime
 
 
@@ -46,43 +54,85 @@ def _make_runtime(args) -> TrustedRuntime:
     return runtime
 
 
+def _activate_obs(args) -> events.Registry | None:
+    """Activate a registry when ``--trace``/``--metrics`` asked for one."""
+    if not getattr(args, "trace", None) and not getattr(args, "metrics", False):
+        return None
+    return events.activate(events.Registry())
+
+
+def _finish_obs(args, registry: events.Registry | None) -> None:
+    """Deactivate and flush the registry (trace file, metrics table)."""
+    if registry is None:
+        return
+    events.deactivate()
+    if getattr(args, "trace", None):
+        export.write_chrome_trace(registry, args.trace)
+    if getattr(args, "metrics", False):
+        print(export.render_metrics_table(registry), file=sys.stderr)
+
+
+def _report_run(args, process, runtime, profiler) -> None:
+    # --metrics already dumps the machine counters (and more), so only
+    # render the short stats table when it alone was requested.
+    if args.stats and not args.metrics:
+        stats = process.stats
+        rows = [
+            ("machine.cycles.wall", process.wall_cycles),
+            ("machine.instructions", stats.instructions),
+            ("machine.checks{kind=bnd}", stats.bnd_checks),
+            ("machine.checks{kind=cfi}", stats.cfi_checks),
+            ("machine.t_calls", stats.t_calls),
+        ]
+        print(export.render_kv_table(rows, title="run stats"), file=sys.stderr)
+    if profiler is not None:
+        rows = [
+            [row.name, f"{row.cycles:,}", f"{row.cycle_share:.1%}",
+             row.bnd_checks, row.cfi_checks]
+            for row in profiler.report(top=12)
+        ]
+        print(
+            export.render_table(
+                ["function", "cycles", "share", "bnd", "cfi"],
+                rows,
+                title="profile",
+            ),
+            file=sys.stderr,
+        )
+    outbox = runtime.channel(1).drain_out()
+    if outbox:
+        print(
+            export.render_kv_table(
+                [("channel.1.out", outbox.hex())], title="channels"
+            ),
+            file=sys.stderr,
+        )
+
+
 def cmd_run(args) -> int:
     source = _read_source(args.source, not args.no_prototypes)
     config = ALL_CONFIGS[args.config]
-    binary = compile_source(source, config, seed=args.seed,
-                            verify=args.verify)
-    runtime = _make_runtime(args)
-    process = load(binary, runtime=runtime)
-    profiler = None
-    if args.profile:
-        from .machine.profile import attach_profiler
-
-        profiler = attach_profiler(process.machine)
+    registry = _activate_obs(args)
     try:
-        code = process.run()
-    except MachineFault as fault:
-        print(f"FAULT: {fault}", file=sys.stderr)
-        return 2
+        binary = compile_source(source, config, seed=args.seed,
+                                verify=args.verify)
+        runtime = _make_runtime(args)
+        process = load(binary, runtime=runtime)
+        profiler = None
+        if args.profile:
+            from .machine.profile import attach_profiler
+
+            profiler = attach_profiler(process.machine)
+        try:
+            code = process.run()
+        except MachineFault as fault:
+            print(f"FAULT: {fault}", file=sys.stderr)
+            return 2
+    finally:
+        _finish_obs(args, registry)
     for line in process.stdout:
         print(line)
-    if args.stats:
-        stats = process.stats
-        print(
-            f"[cycles={process.wall_cycles} instrs={stats.instructions} "
-            f"bndchks={stats.bnd_checks} cfichks={stats.cfi_checks} "
-            f"tcalls={stats.t_calls}]",
-            file=sys.stderr,
-        )
-    if profiler is not None:
-        print(f"{'function':24s} {'cycles':>10s} {'share':>7s}", file=sys.stderr)
-        for row in profiler.report(top=12):
-            print(
-                f"{row.name:24s} {row.cycles:10,} {row.cycle_share:6.1%}",
-                file=sys.stderr,
-            )
-    outbox = runtime.channel(1).drain_out()
-    if outbox:
-        print(f"[channel 1: {outbox.hex()}]", file=sys.stderr)
+    _report_run(args, process, runtime, profiler)
     return code & 0xFF
 
 
@@ -91,8 +141,12 @@ def cmd_verify(args) -> int:
 
     source = _read_source(args.source, not args.no_prototypes)
     config = ALL_CONFIGS[args.config]
-    binary = compile_source(source, config, seed=args.seed)
-    verify_binary(binary)
+    registry = _activate_obs(args)
+    try:
+        binary = compile_source(source, config, seed=args.seed)
+        verify_binary(binary)
+    finally:
+        _finish_obs(args, registry)
     print(f"OK: {args.source} verifies under {config.name}")
     return 0
 
@@ -113,17 +167,121 @@ def cmd_disasm(args) -> int:
 
 def cmd_bench(args) -> int:
     source = _read_source(args.source, not args.no_prototypes)
+    registry = _activate_obs(args)
+    records = []
     base_cycles = None
-    print(f"{'config':12s} {'cycles':>12s} {'vs Base':>9s}")
+    try:
+        for name, config in ALL_CONFIGS.items():
+            binary = compile_source(source, config, seed=args.seed)
+            process = load(binary, runtime=_make_runtime(args))
+            process.run()
+            cycles = process.wall_cycles
+            if base_cycles is None:
+                base_cycles = cycles
+            pct = (
+                100.0 * (cycles - base_cycles) / base_cycles
+                if base_cycles
+                else 0.0
+            )
+            stats = process.stats
+            records.append(
+                {
+                    "config": name,
+                    "cycles": cycles,
+                    "overhead_pct": round(pct, 2),
+                    "instructions": stats.instructions,
+                    "checks": {
+                        "bnd": stats.bnd_checks,
+                        "cfi": stats.cfi_checks,
+                        "t_calls": stats.t_calls,
+                    },
+                }
+            )
+    finally:
+        _finish_obs(args, registry)
+    if args.json:
+        print(json.dumps(records, indent=2))
+        return 0
+    rows = [
+        [
+            r["config"],
+            f"{r['cycles']:,}",
+            f"{r['overhead_pct']:+.1f}%",
+            f"{r['instructions']:,}",
+            r["checks"]["bnd"],
+            r["checks"]["cfi"],
+            r["checks"]["t_calls"],
+        ]
+        for r in records
+    ]
+    print(
+        export.render_table(
+            ["config", "cycles", "vs Base", "instrs", "bnd", "cfi", "tcalls"],
+            rows,
+            title="bench",
+        )
+    )
+    return 0
+
+
+def cmd_stats(args) -> int:
+    """Per-config comparison: compile-stage wall times + dynamic checks."""
+    source = _read_source(args.source, not args.no_prototypes)
+    all_spans: list[events.Span] = []
+    rows = []
     for name, config in ALL_CONFIGS.items():
-        binary = compile_source(source, config, seed=args.seed)
-        process = load(binary, runtime=_make_runtime(args))
-        process.run()
-        cycles = process.wall_cycles
-        if base_cycles is None:
-            base_cycles = cycles
-        pct = 100.0 * (cycles - base_cycles) / base_cycles
-        print(f"{name:12s} {cycles:12,} {pct:+8.1f}%")
+        registry = events.Registry()
+        note = ""
+        with events.use(registry):
+            binary = compile_source(source, config, seed=args.seed)
+            process = load(binary, runtime=_make_runtime(args))
+            try:
+                process.run()
+            except MachineFault as fault:
+                note = f"FAULT:{fault.kind}"
+        wall: dict[str, float] = {}
+        for span in registry.spans:
+            if span.clock == events.WALL:
+                wall[span.name] = wall.get(span.name, 0.0) + span.dur
+
+        def ms(stage: str) -> str:
+            return f"{wall.get(stage, 0.0) / 1000.0:.2f}"
+
+        front_us = (
+            wall.get("compile.lex", 0.0)
+            + wall.get("compile.parse", 0.0)
+            + wall.get("compile.sema", 0.0)
+        )
+        stats = process.stats
+        rows.append(
+            [
+                name,
+                ms("compile.total"),
+                f"{front_us / 1000.0:.2f}",
+                ms("compile.opt"),
+                ms("compile.codegen"),
+                ms("compile.link"),
+                f"{process.wall_cycles:,}",
+                stats.bnd_checks,
+                stats.cfi_checks,
+                stats.t_calls,
+                note,
+            ]
+        )
+        if args.trace:
+            for span in registry.spans:
+                span.args.setdefault("config", name)
+            all_spans.extend(registry.spans)
+    print(
+        export.render_table(
+            ["config", "total_ms", "front_ms", "opt_ms", "cg_ms", "link_ms",
+             "cycles", "bnd", "cfi", "tcall", "note"],
+            rows,
+            title="per-config stats",
+        )
+    )
+    if args.trace:
+        export.write_chrome_trace(all_spans, args.trace)
     return 0
 
 
@@ -137,6 +295,7 @@ def build_parser() -> argparse.ArgumentParser:
         ("verify", cmd_verify),
         ("disasm", cmd_disasm),
         ("bench", cmd_bench),
+        ("stats", cmd_stats),
     ):
         p = sub.add_parser(name)
         p.add_argument("source", help="MiniC source file")
@@ -152,12 +311,22 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--stdin-hex", default=None,
                        help="hex bytes fed to channel 0")
         p.set_defaults(handler=handler)
+        if name in ("run", "verify", "bench", "stats"):
+            p.add_argument("--trace", metavar="PATH", default=None,
+                           help="write a Chrome-trace/Perfetto JSON file")
+        if name in ("run", "verify", "bench"):
+            p.add_argument("--metrics", action="store_true",
+                           help="dump all recorded metrics to stderr")
         if name == "run":
             p.add_argument("--verify", action="store_true",
                            help="run ConfVerify before loading")
-            p.add_argument("--stats", action="store_true")
+            p.add_argument("--stats", action="store_true",
+                           help="print a machine-counter summary table")
             p.add_argument("--profile", action="store_true",
                            help="print per-function cycle attribution")
+        if name == "bench":
+            p.add_argument("--json", action="store_true",
+                           help="emit machine-readable benchmark records")
     return parser
 
 
@@ -165,7 +334,7 @@ def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     try:
         return args.handler(args)
-    except ReproError as error:
+    except (ReproError, OSError) as error:
         print(f"error: {error}", file=sys.stderr)
         return 1
 

@@ -22,6 +22,7 @@ from .link.loader import Process, load
 from .link.objfile import Binary, UObject
 from .minic.parser import parse
 from .minic.sema import analyze
+from .obs import events
 from .opt.pipeline import optimize_module
 from .runtime.trusted import TrustedRuntime
 
@@ -34,20 +35,30 @@ def compile_source(
     seed: int | None = None,
     verify: bool = False,
 ) -> Binary:
-    """Compile and link MiniC source into a binary."""
-    checked = analyze(
-        parse(source, filename),
-        strict=config.strict,
-        all_private=config.all_private,
-    )
-    module = lower_program(checked)
-    optimize_module(module, pipeline=config.pipeline)
-    obj: UObject = compile_module(module, config)
-    binary = link(obj, entry=entry, seed=seed)
-    if verify:
-        from .verifier.verify import verify_binary
+    """Compile and link MiniC source into a binary.
 
-        verify_binary(binary)
+    When an obs registry is active (``repro.obs.events``), every stage
+    records a wall-clock span: lex/parse (frontend), sema + taint-solve,
+    lower, opt passes, regalloc/codegen, link, and (optionally) verify,
+    all nested under ``compile.total``.
+    """
+    with events.span("compile.total", config=config.name, filename=filename):
+        program = parse(source, filename)
+        with events.span("compile.sema"):
+            checked = analyze(
+                program,
+                strict=config.strict,
+                all_private=config.all_private,
+            )
+        with events.span("compile.lower"):
+            module = lower_program(checked)
+        optimize_module(module, pipeline=config.pipeline)
+        obj: UObject = compile_module(module, config)
+        binary = link(obj, entry=entry, seed=seed)
+        if verify:
+            from .verifier.verify import verify_binary
+
+            verify_binary(binary)
     return binary
 
 

@@ -25,6 +25,7 @@ from ..arith import MASK64
 from ..backend import isa
 from ..errors import LinkError
 from ..ir.core import IRGlobal
+from ..obs import events
 from ..taint.lattice import PRIVATE, PUBLIC
 from .layout import CODE_BASE, NATIVE_BASE, MemoryLayout, make_layout
 from .objfile import Binary, UObject
@@ -33,6 +34,11 @@ EXTERNALS_SYMBOL = "__externals"
 
 
 def link(obj: UObject, entry: str = "main", seed: int | None = None) -> Binary:
+    with events.span("compile.link", config=obj.config.name):
+        return _link(obj, entry, seed)
+
+
+def _link(obj: UObject, entry: str, seed: int | None) -> Binary:
     config = obj.config
     function_names = {f.name for f in obj.functions}
     if entry not in function_names:
@@ -236,6 +242,10 @@ def link(obj: UObject, entry: str = "main", seed: int | None = None) -> Binary:
     )
     binary.layout = layout
     binary.read_only_ranges = _read_only_ranges(all_globals, global_addrs)
+    events.counter("linker.code_words").inc(len(code))
+    events.counter("linker.stubs").inc(n_imports)
+    events.counter("linker.globals", region="pub").inc(len(pub_offsets))
+    events.counter("linker.globals", region="priv").inc(len(priv_offsets))
     return binary
 
 
@@ -258,6 +268,9 @@ def _choose_prefixes(code, rng) -> tuple[int, int]:
         if not isinstance(insn, isa.MagicWord)
     }
     for _ in range(64):
+        # Each draw rescans every instruction encoding for collisions
+        # with the candidate prefixes; normally one scan suffices.
+        events.counter("linker.magic_rescans").inc()
         mcall = rng.getrandbits(59)
         mret = rng.getrandbits(59)
         if mcall == mret:

@@ -8,6 +8,7 @@ from __future__ import annotations
 from ..backend import regs
 from ..errors import LoadError
 from ..machine.cpu import Machine
+from ..obs import events
 from ..runtime.alloc import NativeAllocator, RegionAllocator
 from ..runtime.trusted import TrustedRuntime
 from .objfile import Binary
@@ -21,7 +22,26 @@ class Process:
         self.runtime = runtime
 
     def run(self, max_instructions: int = 500_000_000) -> int:
-        return self.machine.run(max_instructions)
+        registry = events.active()
+        if registry is None:
+            return self.machine.run(max_instructions)
+        machine = self.machine
+        start = machine.wall_cycles
+        try:
+            return machine.run(max_instructions)
+        finally:
+            # Record the execution span on the simulated-cycle clock and
+            # snapshot the counters — also on faults, so a stopped attack
+            # still shows up in the trace and metrics.
+            registry.add_span(
+                "machine.run",
+                ts=start,
+                dur=machine.wall_cycles - start,
+                clock=events.CYCLES,
+                cat="machine",
+                config=machine.config.name,
+            )
+            machine.publish_metrics(registry)
 
     @property
     def wall_cycles(self) -> int:

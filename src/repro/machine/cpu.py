@@ -80,6 +80,7 @@ class Stats:
         "t_calls",
         "loads",
         "stores",
+        "faults",
     )
 
     def __init__(self):
@@ -90,6 +91,9 @@ class Stats:
         self.t_calls = 0
         self.loads = 0
         self.stores = 0
+        # Fault kind -> occurrence count (a fault normally ends the run,
+        # but callers that catch-and-restart keep accumulating here).
+        self.faults: dict[str, int] = {}
 
 
 class Machine:
@@ -111,6 +115,10 @@ class Machine:
         self.gs_base = 0
         self.bnd = [(0, 0), (0, 0)]  # bnd0 (public), bnd1 (private)
         self._next_tid = 0
+        # Step hooks: callables (thread, pc, insn, cycles) invoked after
+        # every retired instruction.  Empty by default; the fast path
+        # pays one truthiness test per instruction and nothing else.
+        self._step_hooks: list = []
         self._dispatch = {
             isa.MagicWord: self._i_magic,
             isa.MovRI: self._i_mov_ri,
@@ -140,6 +148,22 @@ class Machine:
             isa.Halt: self._i_halt,
             isa.Fail: self._i_fail,
         }
+
+    # ------------------------------------------------------------------
+    # Step hooks (the supported way to observe execution; replaces the
+    # old pattern of monkey-patching ``_step``, which composed wrongly
+    # when attached twice)
+
+    def add_step_hook(self, hook) -> None:
+        """Register ``hook(thread, pc, insn, cycles)`` to run after each
+        retired instruction.  ``cycles`` is the simulated cost the
+        instruction added to its core, cache penalties included."""
+        if hook in self._step_hooks:
+            raise ValueError("step hook already attached")
+        self._step_hooks.append(hook)
+
+    def remove_step_hook(self, hook) -> None:
+        self._step_hooks.remove(hook)
 
     # ------------------------------------------------------------------
     # Thread management
@@ -172,6 +196,15 @@ class Machine:
 
     def run(self, max_instructions: int = 500_000_000) -> int:
         """Run until every thread halts; returns main's exit code."""
+        try:
+            return self._run_loop(max_instructions)
+        except MachineFault as fault:
+            self.stats.faults[fault.kind] = (
+                self.stats.faults.get(fault.kind, 0) + 1
+            )
+            raise
+
+    def _run_loop(self, max_instructions: int) -> int:
         budget = max_instructions
         quantum = 64
         while True:
@@ -220,12 +253,48 @@ class Machine:
             insn = self.code[thread.pc]
         except IndexError:
             raise MachineFault(FAULT_EXEC, f"pc out of code: {thread.pc}")
+        hooks = self._step_hooks
+        if not hooks:
+            self.stats.instructions += 1
+            self.core_cycles[thread.core] += costs.BASE_COST[insn.cost_class]
+            self._dispatch[type(insn)](thread, insn)
+            return
+        pc = thread.pc
+        before = self.core_cycles[thread.core]
         self.stats.instructions += 1
         self.core_cycles[thread.core] += costs.BASE_COST[insn.cost_class]
         self._dispatch[type(insn)](thread, insn)
+        cycles = self.core_cycles[thread.core] - before
+        for hook in hooks:
+            hook(thread, pc, insn, cycles)
 
     def charge(self, thread: Thread, cycles: int) -> None:
         self.core_cycles[thread.core] += cycles
+
+    def publish_metrics(self, registry) -> None:
+        """Snapshot execution counters into an obs registry.
+
+        Counter names follow docs/OBSERVABILITY.md; calling this twice
+        on the same registry accumulates (counters are monotonic).
+        """
+        stats = self.stats
+        counter = registry.counter
+        counter("machine.instructions").inc(stats.instructions)
+        counter("machine.checks", kind="bnd").inc(stats.bnd_checks)
+        counter("machine.checks", kind="cfi").inc(stats.cfi_checks)
+        counter("machine.calls").inc(stats.calls)
+        counter("machine.t_calls").inc(stats.t_calls)
+        if self.config.separate_tu:
+            counter("machine.t_stack_switches").inc(stats.t_calls)
+        counter("machine.loads").inc(stats.loads)
+        counter("machine.stores").inc(stats.stores)
+        counter("machine.cycles.wall").inc(self.wall_cycles)
+        counter("machine.cycles.total").inc(self.total_cycles)
+        counter("machine.threads").inc(len(self.threads))
+        counter("machine.cache.hits").inc(sum(c.hits for c in self.caches))
+        counter("machine.cache.misses").inc(sum(c.misses for c in self.caches))
+        for kind in sorted(stats.faults):
+            counter("machine.faults", kind=kind).inc(stats.faults[kind])
 
     # ------------------------------------------------------------------
     # Operand helpers

@@ -1,10 +1,16 @@
 """Per-function cycle profiling.
 
-Attributes simulated cycles and instruction counts to functions by
-symbolizing the program counter against the linked binary's label map —
-the same magic-word anchoring ConfVerify uses for procedure discovery.
-Useful for understanding *where* instrumentation overhead lands (e.g.
-Figure 7's claim that ~70% of Privado's time is one tight loop).
+Attributes simulated cycles, instruction counts, and executed bnd/CFI
+check counts to functions by symbolizing the program counter against the
+linked binary's label map — the same magic-word anchoring ConfVerify
+uses for procedure discovery.  Useful for understanding *where*
+instrumentation overhead lands (e.g. Figure 7's claim that ~70% of
+Privado's time is one tight loop).
+
+The profiler registers through :meth:`Machine.add_step_hook` — the
+supported observation API — rather than monkey-patching ``_step``, so
+multiple observers compose and double-attachment is an error instead of
+silent double counting.
 
 Usage::
 
@@ -12,13 +18,15 @@ Usage::
     profiler = attach_profiler(process.machine)
     process.run()
     for row in profiler.report(top=5):
-        print(row.name, row.cycles, row.instructions)
+        print(row.name, row.cycles, row.bnd_checks, row.cfi_checks)
 """
 
 from __future__ import annotations
 
 import bisect
 from dataclasses import dataclass
+
+from ..backend import isa
 
 
 @dataclass
@@ -27,6 +35,8 @@ class ProfileRow:
     cycles: int
     instructions: int
     cycle_share: float
+    bnd_checks: int = 0
+    cfi_checks: int = 0
 
 
 class Profiler:
@@ -44,6 +54,8 @@ class Profiler:
         self._names = [n for _s, n in starts]
         self.cycles: dict[str, int] = {}
         self.instructions: dict[str, int] = {}
+        self.bnd_checks: dict[str, int] = {}
+        self.cfi_checks: dict[str, int] = {}
 
     def symbolize(self, pc: int) -> str:
         index = bisect.bisect_right(self._starts, pc) - 1
@@ -51,10 +63,21 @@ class Profiler:
             return "<prelude>"
         return self._names[index]
 
-    def account(self, pc: int, cycles: int) -> None:
+    def account(
+        self, pc: int, cycles: int, insn: isa.Insn | None = None
+    ) -> None:
         name = self.symbolize(pc)
         self.cycles[name] = self.cycles.get(name, 0) + cycles
         self.instructions[name] = self.instructions.get(name, 0) + 1
+        if insn is not None:
+            if isinstance(insn, isa.BndChk):
+                self.bnd_checks[name] = self.bnd_checks.get(name, 0) + 1
+            elif isinstance(insn, isa.CheckMagic):
+                self.cfi_checks[name] = self.cfi_checks.get(name, 0) + 1
+
+    def on_step(self, thread, pc: int, insn, cycles: int) -> None:
+        """Machine step-hook entry point (see ``Machine.add_step_hook``)."""
+        self.account(pc, cycles, insn)
 
     def report(self, top: int | None = None) -> list[ProfileRow]:
         total = sum(self.cycles.values()) or 1
@@ -64,6 +87,8 @@ class Profiler:
                 cycles=cycles,
                 instructions=self.instructions.get(name, 0),
                 cycle_share=cycles / total,
+                bnd_checks=self.bnd_checks.get(name, 0),
+                cfi_checks=self.cfi_checks.get(name, 0),
             )
             for name, cycles in self.cycles.items()
         ]
@@ -72,15 +97,17 @@ class Profiler:
 
 
 def attach_profiler(machine) -> Profiler:
-    """Wrap the machine's step function with cycle attribution."""
+    """Attach a fresh profiler via the machine's step-hook API.
+
+    Each call attaches an independent profiler; attaching the *same*
+    hook twice raises (``Machine.add_step_hook`` rejects duplicates), so
+    cycles can no longer be double-counted by accident.
+    """
     profiler = Profiler(machine.binary)
-    original_step = machine._step
-
-    def profiled_step(thread):
-        pc = thread.pc
-        before = machine.core_cycles[thread.core]
-        original_step(thread)
-        profiler.account(pc, machine.core_cycles[thread.core] - before)
-
-    machine._step = profiled_step
+    machine.add_step_hook(profiler.on_step)
     return profiler
+
+
+def detach_profiler(machine, profiler: Profiler) -> None:
+    """Stop a profiler attached with :func:`attach_profiler`."""
+    machine.remove_step_hook(profiler.on_step)

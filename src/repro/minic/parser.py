@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 from ..errors import ParseError
+from ..obs import events
 from .ast_nodes import (
     Assign,
     Binary,
@@ -75,8 +76,13 @@ _BINARY_TIERS = [
 
 
 class Parser:
-    def __init__(self, source: str, filename: str = "<input>"):
-        self._toks = tokenize(source, filename)
+    def __init__(
+        self,
+        source: str,
+        filename: str = "<input>",
+        tokens: list[Token] | None = None,
+    ):
+        self._toks = tokens if tokens is not None else tokenize(source, filename)
         self._pos = 0
 
     # -- token plumbing ----------------------------------------------------
@@ -510,4 +516,8 @@ class Parser:
 
 def parse(source: str, filename: str = "<input>") -> Program:
     """Parse MiniC source text into a :class:`Program` AST."""
-    return Parser(source, filename).parse_program()
+    with events.span("compile.lex", filename=filename):
+        tokens = tokenize(source, filename)
+    events.counter("frontend.tokens").inc(len(tokens))
+    with events.span("compile.parse", filename=filename):
+        return Parser(source, filename, tokens=tokens).parse_program()

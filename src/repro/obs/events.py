@@ -1,0 +1,288 @@
+"""Span/counter/histogram primitives and the in-process registry.
+
+This is the core of ``repro.obs``: a thread-safe :class:`Registry` that
+accumulates
+
+* **spans** — named intervals on one of two clocks: host wall time
+  (``WALL``, microseconds, for compiler/verifier stages) or simulated
+  machine cycles (``CYCLES``, for execution-side events);
+* **counters / histograms** — labelled aggregates (see
+  :mod:`repro.obs.metrics`).
+
+Observability is **opt-in and zero-cost when off**: every
+instrumentation site in the toolchain goes through the module-level
+helpers :func:`span`, :func:`counter` and :func:`histogram`, which
+return inert null objects while no registry is active.  Activating a
+registry never changes compilation output or simulated cycle counts —
+only what gets *recorded*.
+
+Typical use::
+
+    from repro.obs import events, export
+
+    registry = events.Registry()
+    with events.use(registry):
+        binary = compile_source(src, OUR_MPX, seed=1)
+        process = load(binary); process.run()
+    export.write_chrome_trace(registry, "out.json")
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+
+from .metrics import Counter, Histogram, label_items
+
+WALL = "wall"  # host wall-clock, microseconds since registry creation
+CYCLES = "cycles"  # simulated machine cycles
+
+
+@dataclass
+class Span:
+    """A completed interval. ``ts``/``dur`` are µs (WALL) or cycles."""
+
+    name: str
+    ts: float
+    dur: float
+    clock: str = WALL
+    cat: str = "compile"
+    tid: int = 0
+    depth: int = 0
+    parent: str | None = None
+    args: dict = field(default_factory=dict)
+
+
+class _SpanHandle:
+    """Context manager recording one WALL-clock span on exit."""
+
+    __slots__ = ("_registry", "_name", "_cat", "_args", "_start", "_depth",
+                 "_parent")
+
+    def __init__(self, registry: "Registry", name: str, cat: str, args: dict):
+        self._registry = registry
+        self._name = name
+        self._cat = cat
+        self._args = args
+
+    def __enter__(self) -> "_SpanHandle":
+        self._depth, self._parent = self._registry._push(self._name)
+        self._start = self._registry._now_us()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        end = self._registry._now_us()
+        self._registry._pop()
+        self._registry._record(
+            Span(
+                name=self._name,
+                ts=self._start,
+                dur=end - self._start,
+                clock=WALL,
+                cat=self._cat,
+                tid=0,
+                depth=self._depth,
+                parent=self._parent,
+                args=self._args,
+            )
+        )
+        return False
+
+
+class _NullSpan:
+    """Inert stand-in returned when no registry is active."""
+
+    __slots__ = ()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+
+class _NullMetric:
+    """Inert counter/histogram stand-in when no registry is active."""
+
+    __slots__ = ()
+
+    def inc(self, n: int = 1) -> None:
+        pass
+
+    def observe(self, value) -> None:
+        pass
+
+
+NULL_SPAN = _NullSpan()
+NULL_METRIC = _NullMetric()
+
+
+class Registry:
+    """Thread-safe accumulator of spans and metrics for one session."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._spans: list[Span] = []
+        self._counters: dict[tuple, Counter] = {}
+        self._histograms: dict[tuple, Histogram] = {}
+        self._epoch_ns = time.perf_counter_ns()
+        self._tls = threading.local()
+
+    # -- clocks / nesting --------------------------------------------------
+
+    def _now_us(self) -> float:
+        return (time.perf_counter_ns() - self._epoch_ns) / 1000.0
+
+    def _stack(self) -> list[str]:
+        stack = getattr(self._tls, "stack", None)
+        if stack is None:
+            stack = self._tls.stack = []
+        return stack
+
+    def _push(self, name: str) -> tuple[int, str | None]:
+        stack = self._stack()
+        parent = stack[-1] if stack else None
+        depth = len(stack)
+        stack.append(name)
+        return depth, parent
+
+    def _pop(self) -> None:
+        stack = self._stack()
+        if stack:
+            stack.pop()
+
+    def _record(self, span: Span) -> None:
+        with self._lock:
+            self._spans.append(span)
+
+    # -- spans -------------------------------------------------------------
+
+    def span(self, name: str, cat: str = "compile", **args) -> _SpanHandle:
+        """Open a nested WALL-clock span (use as a context manager)."""
+        return _SpanHandle(self, name, cat, args)
+
+    def add_span(
+        self,
+        name: str,
+        ts: float,
+        dur: float,
+        clock: str = CYCLES,
+        cat: str = "machine",
+        tid: int = 0,
+        **args,
+    ) -> None:
+        """Record a pre-measured span (e.g. simulated-cycle intervals)."""
+        self._record(
+            Span(name=name, ts=float(ts), dur=float(dur), clock=clock,
+                 cat=cat, tid=tid, args=args)
+        )
+
+    @property
+    def spans(self) -> list[Span]:
+        with self._lock:
+            return list(self._spans)
+
+    # -- metrics -----------------------------------------------------------
+
+    def counter(self, name: str, **labels) -> Counter:
+        items = label_items(labels)
+        key = (name, items)
+        with self._lock:
+            counter = self._counters.get(key)
+            if counter is None:
+                counter = self._counters[key] = Counter(name, items)
+            return counter
+
+    def histogram(self, name: str, **labels) -> Histogram:
+        items = label_items(labels)
+        key = (name, items)
+        with self._lock:
+            hist = self._histograms.get(key)
+            if hist is None:
+                hist = self._histograms[key] = Histogram(name, items)
+            return hist
+
+    def metrics_snapshot(self) -> dict:
+        """Flattened, deterministically-ordered view of all metrics.
+
+        Counters map ``name{labels}`` to their integer value; histograms
+        map to a ``{count,total,min,max}`` summary dict.
+        """
+        with self._lock:
+            counters = sorted(self._counters.values(), key=lambda c: c.key)
+            hists = sorted(self._histograms.values(), key=lambda h: h.key)
+        snapshot: dict = {}
+        for counter in counters:
+            snapshot[counter.key] = counter.value
+        for hist in hists:
+            snapshot[hist.key] = hist.summary()
+        return snapshot
+
+
+# ---------------------------------------------------------------------------
+# Activation: one process-wide active registry (or none).
+
+_active: Registry | None = None
+
+
+def active() -> Registry | None:
+    """The currently-active registry, or None when observability is off."""
+    return _active
+
+
+def activate(registry: Registry) -> Registry:
+    """Make ``registry`` the process-wide active registry."""
+    global _active
+    _active = registry
+    return registry
+
+
+def deactivate() -> None:
+    global _active
+    _active = None
+
+
+class use:
+    """Context manager scoping a registry activation, restoring the
+    previously-active registry (if any) on exit."""
+
+    def __init__(self, registry: Registry):
+        self._registry = registry
+        self._prev: Registry | None = None
+
+    def __enter__(self) -> Registry:
+        global _active
+        self._prev = _active
+        _active = self._registry
+        return self._registry
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        global _active
+        _active = self._prev
+        return False
+
+
+# ---------------------------------------------------------------------------
+# Instrumentation-site helpers: no-ops while no registry is active.
+
+
+def span(name: str, cat: str = "compile", **args):
+    registry = _active
+    if registry is None:
+        return NULL_SPAN
+    return registry.span(name, cat, **args)
+
+
+def counter(name: str, **labels):
+    registry = _active
+    if registry is None:
+        return NULL_METRIC
+    return registry.counter(name, **labels)
+
+
+def histogram(name: str, **labels):
+    registry = _active
+    if registry is None:
+        return NULL_METRIC
+    return registry.histogram(name, **labels)

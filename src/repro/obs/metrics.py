@@ -1,0 +1,88 @@
+"""Labelled counters and histograms.
+
+Metrics are *named aggregates*: a counter is identified by its name plus
+a set of ``key=value`` labels (e.g. ``machine.checks{kind=bnd}``), a
+histogram additionally tracks min/max/total of the observed values.
+Label keys are sorted when rendering, so the flattened metric key — and
+therefore every export — is deterministic for a deterministic workload.
+
+Naming convention (see docs/OBSERVABILITY.md): ``<layer>.<noun>`` with
+dots, all lowercase; labels discriminate within one logical metric
+(``kind=bnd|cfi``, ``outcome=ok|fault``), they never encode values that
+grow without bound (no addresses, no per-request ids).
+"""
+
+from __future__ import annotations
+
+LabelItems = tuple[tuple[str, str], ...]
+
+
+def label_items(labels: dict[str, object]) -> LabelItems:
+    """Normalize a label dict into a sorted, hashable identity."""
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+def flat_key(name: str, items: LabelItems) -> str:
+    """Flatten ``name`` + labels into ``name{k=v,...}`` (sorted keys)."""
+    if not items:
+        return name
+    inner = ",".join(f"{k}={v}" for k, v in items)
+    return f"{name}{{{inner}}}"
+
+
+class Counter:
+    """A monotonically-increasing integer with a labelled identity."""
+
+    __slots__ = ("name", "labels", "value")
+
+    def __init__(self, name: str, labels: LabelItems = ()):
+        self.name = name
+        self.labels = labels
+        self.value = 0
+
+    def inc(self, n: int = 1) -> None:
+        self.value += n
+
+    @property
+    def key(self) -> str:
+        return flat_key(self.name, self.labels)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<Counter {self.key}={self.value}>"
+
+
+class Histogram:
+    """Summary statistics (count/total/min/max) of observed values."""
+
+    __slots__ = ("name", "labels", "count", "total", "min", "max")
+
+    def __init__(self, name: str, labels: LabelItems = ()):
+        self.name = name
+        self.labels = labels
+        self.count = 0
+        self.total = 0
+        self.min: int | float | None = None
+        self.max: int | float | None = None
+
+    def observe(self, value) -> None:
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+
+    @property
+    def key(self) -> str:
+        return flat_key(self.name, self.labels)
+
+    def summary(self) -> dict:
+        return {
+            "count": self.count,
+            "total": self.total,
+            "min": self.min,
+            "max": self.max,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<Histogram {self.key} n={self.count} total={self.total}>"

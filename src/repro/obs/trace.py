@@ -1,0 +1,72 @@
+"""Chrome-trace/Perfetto export of recorded spans.
+
+Spans live on two clocks, mapped to two trace "processes" so Perfetto
+renders them on separate tracks without unit confusion:
+
+* pid 1 — the toolchain, WALL clock, real microseconds;
+* pid 2 — the simulated machine, CYCLES clock, one simulated cycle
+  rendered as one microsecond.
+
+Every span becomes a complete-duration event (``"ph": "X"``) carrying
+``name``/``cat``/``ts``/``dur``/``pid``/``tid``; process-name metadata
+events (``"ph": "M"``) label the two tracks.  Open the output at
+https://ui.perfetto.dev or chrome://tracing.
+"""
+
+from __future__ import annotations
+
+import json
+
+from .events import Registry, Span, WALL
+
+PID_COMPILE = 1
+PID_MACHINE = 2
+
+_PROCESS_NAMES = {
+    PID_COMPILE: "toolchain (wall-clock us)",
+    PID_MACHINE: "machine (simulated cycles)",
+}
+
+
+def span_to_event(span: Span) -> dict:
+    """Convert one span into a Chrome-trace complete event."""
+    pid = PID_COMPILE if span.clock == WALL else PID_MACHINE
+    args = dict(span.args)
+    args["clock"] = span.clock
+    if span.parent is not None:
+        args["parent"] = span.parent
+    return {
+        "name": span.name,
+        "cat": span.cat,
+        "ph": "X",
+        "ts": span.ts,
+        "dur": span.dur,
+        "pid": pid,
+        "tid": span.tid,
+        "args": args,
+    }
+
+
+def to_chrome_trace(source: Registry | list[Span]) -> dict:
+    """Build the Chrome-trace JSON object for a registry (or span list)."""
+    spans = source.spans if isinstance(source, Registry) else list(source)
+    events: list[dict] = []
+    used_pids = {PID_COMPILE if s.clock == WALL else PID_MACHINE for s in spans}
+    for pid in sorted(used_pids or {PID_COMPILE}):
+        events.append(
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": 0,
+                "args": {"name": _PROCESS_NAMES[pid]},
+            }
+        )
+    events.extend(span_to_event(span) for span in spans)
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(source: Registry | list[Span], path: str) -> None:
+    """Serialize :func:`to_chrome_trace` output to ``path``."""
+    with open(path, "w") as handle:
+        json.dump(to_chrome_trace(source), handle, indent=1)

@@ -10,11 +10,29 @@ Two pipelines mirror the paper's compiler configurations:
 
 from __future__ import annotations
 
-from ..ir.core import IRModule
+from ..ir.core import IRFunction, IRModule
 from ..ir.verify import verify_module
+from ..obs import events
 from .passes import copyprop_and_fold, cse_local, dce, promote_slots, simplify_cfg
 
 MAX_ITERATIONS = 8
+
+
+def _n_instrs(func: IRFunction) -> int:
+    return sum(len(block.instrs) for block in func.blocks)
+
+
+def _run_pass(name: str, pass_fn, func: IRFunction) -> bool:
+    """Run one pass, recording its run count and IR-size delta."""
+    if events.active() is None:  # skip the IR-size walks when obs is off
+        return pass_fn(func)
+    before = _n_instrs(func)
+    changed = pass_fn(func)
+    events.counter("opt.pass_runs", **{"pass": name}).inc()
+    events.histogram("opt.ir_delta", **{"pass": name}).observe(
+        before - _n_instrs(func)
+    )
+    return changed
 
 
 def optimize_module(
@@ -31,16 +49,18 @@ def optimize_module(
     if level == 0:
         return module
     run_unsupported = pipeline == "vanilla"
-    for func in module.functions.values():
-        promote_slots(func)
-        for _ in range(MAX_ITERATIONS):
-            changed = copyprop_and_fold(func)
-            changed |= dce(func)
-            changed |= simplify_cfg(func)
-            if run_unsupported:
-                changed |= cse_local(func)
-            if not changed:
-                break
-    if verify:
-        verify_module(module)
+    with events.span("compile.opt", pipeline=pipeline, level=level):
+        for func in module.functions.values():
+            _run_pass("promote_slots", promote_slots, func)
+            for _ in range(MAX_ITERATIONS):
+                changed = _run_pass("copyprop_and_fold", copyprop_and_fold, func)
+                changed |= _run_pass("dce", dce, func)
+                changed |= _run_pass("simplify_cfg", simplify_cfg, func)
+                if run_unsupported:
+                    changed |= _run_pass("cse_local", cse_local, func)
+                if not changed:
+                    break
+        if verify:
+            with events.span("compile.opt.ir-verify"):
+                verify_module(module)
     return module

@@ -28,6 +28,7 @@ from ..backend import regs
 from ..errors import FAULT_CFI, FAULT_WRAPPER, MachineFault
 from ..link.layout import CODE_BASE
 from ..machine import costs
+from ..obs import events
 from .alloc import NativeAllocator, RegionAllocator
 
 T_PROTOTYPES = """
@@ -129,11 +130,17 @@ class TContext:
             if layout.public.contains(ptr, size) or layout.private.contains(
                 ptr, size
             ):
+                events.counter(
+                    "runtime.range_checks", fn=self.sig.name, outcome="ok"
+                ).inc()
                 return
             region = layout.private
         else:
             region = layout.private if private else layout.public
         if not region.contains(ptr, size):
+            events.counter(
+                "runtime.range_checks", fn=self.sig.name, outcome="fault"
+            ).inc()
             kind = "private" if private else "public"
             raise MachineFault(
                 FAULT_WRAPPER,
@@ -141,6 +148,9 @@ class TContext:
                 f"{kind} region",
                 addr=ptr,
             )
+        events.counter(
+            "runtime.range_checks", fn=self.sig.name, outcome="ok"
+        ).inc()
 
     # -- memory ----------------------------------------------------------
 
@@ -280,12 +290,26 @@ class TrustedRuntime:
         expected_word = ((mret_prefix << 5) | ret_bit) & MASK64
 
         def wrapper(machine, thread, _sig=sig, _impl=impl):
+            registry = events.active()
+            entry_cycles = (
+                machine.core_cycles[thread.core] if registry is not None else 0
+            )
             machine.charge(thread, switch_cost)
             ctx = TContext(self, machine, thread, _sig)
             result = _impl(ctx)
             if result is _RETRY:
                 # Spin: leave pc at the stub's JmpInd so the call re-runs.
                 return
+            if registry is not None:
+                registry.counter("runtime.t_calls", fn=_sig.name).inc()
+                registry.add_span(
+                    f"T.{_sig.name}",
+                    ts=entry_cycles,
+                    dur=machine.core_cycles[thread.core] - entry_cycles,
+                    clock=events.CYCLES,
+                    cat="runtime",
+                    tid=thread.tid,
+                )
             thread.regs[regs.RAX] = (result or 0) & MASK64
             # CFI-conformant return (wrapper step (e)).
             rsp = thread.regs[regs.RSP]

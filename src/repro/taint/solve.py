@@ -19,6 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from ..errors import SourceLocation, TaintError
+from ..obs import events
 from .lattice import PRIVATE, PUBLIC, Taint, TaintTerm, TaintVar
 
 
@@ -98,38 +99,46 @@ def solve(cs: ConstraintSet) -> Solution:
         ``PRIVATE ⊑ PUBLIC``.  The error carries the location of the
         first violated constraint.
     """
-    value: dict[TaintVar, Taint] = {}
-    # Map each variable to the constraints in which it is the lower side,
-    # so that raising it re-checks only those constraints.
-    dependents: dict[TaintVar, list[Constraint]] = {}
-    for c in cs.constraints:
-        if isinstance(c.lo, TaintVar):
-            dependents.setdefault(c.lo, []).append(c)
-            value.setdefault(c.lo, PUBLIC)
-        if isinstance(c.hi, TaintVar):
-            value.setdefault(c.hi, PUBLIC)
-
-    def current(term: TaintTerm) -> Taint:
-        if isinstance(term, Taint):
-            return term
-        return value.get(term, PUBLIC)
-
-    worklist = list(cs.constraints)
-    while worklist:
-        c = worklist.pop()
-        if current(c.lo) is PRIVATE and current(c.hi) is PUBLIC:
+    with events.span("compile.taint-solve", constraints=len(cs.constraints)):
+        value: dict[TaintVar, Taint] = {}
+        # Map each variable to the constraints in which it is the lower
+        # side, so that raising it re-checks only those constraints.
+        dependents: dict[TaintVar, list[Constraint]] = {}
+        for c in cs.constraints:
+            if isinstance(c.lo, TaintVar):
+                dependents.setdefault(c.lo, []).append(c)
+                value.setdefault(c.lo, PUBLIC)
             if isinstance(c.hi, TaintVar):
-                value[c.hi] = PRIVATE
-                worklist.extend(dependents.get(c.hi, ()))
-            # If hi is the constant PUBLIC the constraint is violated;
-            # defer the error to the final validation pass so we report
-            # against the fully-raised assignment.
+                value.setdefault(c.hi, PUBLIC)
 
-    for c in cs.constraints:
-        if current(c.lo) is PRIVATE and current(c.hi) is PUBLIC:
-            raise TaintError(
-                "private data flows into a public position"
-                + (f" ({c.reason})" if c.reason else ""),
-                c.loc,
-            )
-    return Solution(value)
+        def current(term: TaintTerm) -> Taint:
+            if isinstance(term, Taint):
+                return term
+            return value.get(term, PUBLIC)
+
+        processed = 0
+        worklist = list(cs.constraints)
+        while worklist:
+            c = worklist.pop()
+            processed += 1
+            if current(c.lo) is PRIVATE and current(c.hi) is PUBLIC:
+                if isinstance(c.hi, TaintVar):
+                    value[c.hi] = PRIVATE
+                    worklist.extend(dependents.get(c.hi, ()))
+                # If hi is the constant PUBLIC the constraint is violated;
+                # defer the error to the final validation pass so we report
+                # against the fully-raised assignment.
+
+        events.counter("taint.constraints").inc(len(cs.constraints))
+        events.counter("taint.constraints_solved").inc(processed)
+        events.counter("taint.vars_private").inc(
+            sum(1 for v in value.values() if v is PRIVATE)
+        )
+        for c in cs.constraints:
+            if current(c.lo) is PRIVATE and current(c.hi) is PUBLIC:
+                raise TaintError(
+                    "private data flows into a public position"
+                    + (f" ({c.reason})" if c.reason else ""),
+                    c.loc,
+                )
+        return Solution(value)

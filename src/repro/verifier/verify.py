@@ -35,6 +35,7 @@ from ..backend import isa, regs
 from ..errors import VerifyError
 from ..link.layout import MPX_STACK_OFFSET
 from ..link.objfile import Binary
+from ..obs import events
 
 L, H = 0, 1
 ELIDE_LIMIT = 1 << 20
@@ -81,11 +82,15 @@ class BinaryVerifier:
     # ------------------------------------------------------------------
 
     def verify(self) -> None:
-        self._check_magic_uniqueness()
-        procs = self._find_procedures()
-        self._check_stubs()
-        for proc in procs:
-            self._verify_procedure(proc)
+        with events.span("verify.uniqueness", cat="verify"):
+            self._check_magic_uniqueness()
+        with events.span("verify.cfg", cat="verify"):
+            procs = self._find_procedures()
+            self._check_stubs()
+        events.counter("verifier.procedures").inc(len(procs))
+        with events.span("verify.dataflow", cat="verify"):
+            for proc in procs:
+                self._verify_procedure(proc)
 
     # ------------------------------------------------------------------
     # Stage 1: structure
@@ -155,12 +160,16 @@ class BinaryVerifier:
         in_states: dict[int, list[int]] = {proc.entry: entry_state}
         worklist = [proc.entry]
         seen_once: set[int] = set()
+        iterations = 0
+        edges = 0
         while worklist:
             leader = worklist.pop()
             state = in_states[leader]
             out_edges = self._flow_block(
                 proc, blocks, leader, list(state)
             )
+            iterations += 1
+            edges += len(out_edges)
             seen_once.add(leader)
             for target, out_state in out_edges:
                 if target not in blocks:
@@ -177,6 +186,9 @@ class BinaryVerifier:
                     if merged != old:
                         in_states[target] = merged
                         worklist.append(target)
+        events.counter("verifier.blocks").inc(len(blocks))
+        events.counter("verifier.cfg_edges").inc(edges)
+        events.counter("verifier.dataflow_iterations").inc(iterations)
 
     def _entry_state(self, bits: int) -> list[int]:
         state = [H] * regs.NUM_GPRS  # dead registers conservatively private
@@ -541,4 +553,5 @@ class BinaryVerifier:
 
 def verify_binary(binary: Binary) -> None:
     """Run ConfVerify on a linked binary; raises VerifyError on reject."""
-    BinaryVerifier(binary).verify()
+    with events.span("compile.verify", cat="verify", config=binary.config.name):
+        BinaryVerifier(binary).verify()

@@ -41,7 +41,38 @@ class TestCliRun:
     def test_run_with_stats(self, hello_file, capsys):
         main(["run", hello_file, "--stats"])
         captured = capsys.readouterr()
-        assert "cycles=" in captured.err
+        assert "machine.cycles.wall" in captured.err
+        assert "machine.checks{kind=cfi}" in captured.err
+
+    def test_run_with_trace_writes_chrome_trace(self, hello_file, tmp_path,
+                                                capsys):
+        import json
+
+        trace = tmp_path / "trace.json"
+        assert main(["run", hello_file, "--trace", str(trace)]) == 7
+        data = json.loads(trace.read_text())
+        events = data["traceEvents"]
+        names = {e["name"] for e in events}
+        assert "compile.total" in names
+        assert "machine.run" in names
+        for event in events:
+            if event["ph"] == "X":
+                for key in ("name", "cat", "ts", "dur", "pid", "tid"):
+                    assert key in event
+
+    def test_run_with_metrics_table(self, hello_file, capsys):
+        main(["run", hello_file, "--metrics"])
+        err = capsys.readouterr().err
+        assert "machine.instructions" in err
+        assert "linker.code_words" in err
+
+    def test_run_stats_and_metrics_print_counters_once(self, hello_file,
+                                                       capsys):
+        main(["run", hello_file, "--stats", "--metrics"])
+        err = capsys.readouterr().err
+        # --metrics subsumes --stats: the instruction counter appears in
+        # exactly one table, not two differently-formatted ones.
+        assert err.count("machine.instructions") == 1
 
     def test_run_under_base_config(self, hello_file):
         assert main(["run", hello_file, "--config", "Base"]) == 7
@@ -106,3 +137,56 @@ class TestCliVerifyAndDisasm:
         out = capsys.readouterr().out
         for name in ("Base", "OurMPX", "OurSeg"):
             assert name in out
+
+    def test_bench_json_records(self, hello_file, capsys):
+        import json
+
+        from repro.config import ALL_CONFIGS
+
+        assert main(["bench", hello_file, "--json"]) == 0
+        records = json.loads(capsys.readouterr().out)
+        assert [r["config"] for r in records] == list(ALL_CONFIGS)
+        base = records[0]
+        assert base["overhead_pct"] == 0.0
+        for record in records:
+            assert record["cycles"] > 0
+            assert set(record["checks"]) == {"bnd", "cfi", "t_calls"}
+        mpx = next(r for r in records if r["config"] == "OurMPX")
+        assert mpx["checks"]["cfi"] > 0
+
+
+class TestCliStats:
+    def test_stats_table_matches_process_stats(self, hello_file, capsys):
+        from repro.compiler import compile_and_load
+        from repro.config import ALL_CONFIGS
+        from repro.runtime.trusted import T_PROTOTYPES
+
+        assert main(["stats", hello_file]) == 0
+        out = capsys.readouterr().out
+        for name in ALL_CONFIGS:
+            assert name in out
+        # The OurMPX row's check counts must match a direct run.
+        process = compile_and_load(
+            T_PROTOTYPES + open(hello_file).read(), ALL_CONFIGS["OurMPX"]
+        )
+        process.run()
+        row = next(
+            line for line in out.splitlines() if line.startswith("OurMPX")
+        )
+        fields = row.split()
+        assert fields[-3] == str(process.stats.bnd_checks)
+        assert fields[-2] == str(process.stats.cfi_checks)
+        assert fields[-1] == str(process.stats.t_calls)
+
+    def test_stats_trace_merges_configs(self, hello_file, tmp_path):
+        import json
+
+        trace = tmp_path / "stats.json"
+        assert main(["stats", hello_file, "--trace", str(trace)]) == 0
+        data = json.loads(trace.read_text())
+        configs = {
+            e["args"].get("config")
+            for e in data["traceEvents"]
+            if e["ph"] == "X"
+        }
+        assert "Base" in configs and "OurMPX" in configs

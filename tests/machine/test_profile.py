@@ -1,7 +1,9 @@
 """Profiler tests."""
 
+import pytest
+
 from repro import BASE, OUR_MPX, compile_and_load
-from repro.machine.profile import attach_profiler
+from repro.machine.profile import attach_profiler, detach_profiler
 from repro.runtime.trusted import T_PROTOTYPES
 
 SOURCE = T_PROTOTYPES + """
@@ -67,3 +69,28 @@ class TestProfiler:
         assert all(
             rows[i].cycles >= rows[i + 1].cycles for i in range(len(rows) - 1)
         )
+
+    def test_cfi_checks_attributed_per_function(self):
+        process, profiler = self.run_profiled(OUR_MPX)
+        rows = profiler.report()
+        assert sum(r.cfi_checks for r in rows) == process.stats.cfi_checks
+        assert process.stats.cfi_checks > 0
+
+    def test_base_config_reports_zero_checks(self):
+        _, profiler = self.run_profiled(BASE)
+        rows = profiler.report()
+        assert sum(r.bnd_checks for r in rows) == 0
+        assert sum(r.cfi_checks for r in rows) == 0
+
+    def test_detach_stops_accounting(self):
+        process = compile_and_load(SOURCE, BASE)
+        profiler = attach_profiler(process.machine)
+        detach_profiler(process.machine, profiler)
+        process.run()
+        assert profiler.cycles == {}
+
+    def test_double_attach_same_profiler_raises(self):
+        process = compile_and_load(SOURCE, BASE)
+        profiler = attach_profiler(process.machine)
+        with pytest.raises(ValueError):
+            process.machine.add_step_hook(profiler.on_step)

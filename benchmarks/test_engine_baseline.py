@@ -1,0 +1,77 @@
+"""Execution-engine perf baseline: the `bench --json` anchor.
+
+Two claims are pinned here:
+
+* the predecoded engine and the reference engine report **identical**
+  simulated cycles/instructions/checks on the mcf kernel under every
+  configuration (the optimization is observably invisible);
+* the per-config cycle records stay in the neighborhood of the stored
+  `data/bench_baseline.json` snapshot, so a future change that silently
+  shifts the Figure 5 cost model shows up as a benchmark failure rather
+  than as quietly different paper numbers.  Simulated cycles are
+  deterministic, so the tolerance (±25%) exists only to admit *intended*
+  codegen/cost-model changes — refresh the snapshot when you make one.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.apps.spec import kernel_source
+from repro.compiler import compile_source
+from repro.config import ALL_CONFIGS
+from repro.link.loader import load
+from repro.runtime.trusted import TrustedRuntime
+
+BASELINE_PATH = Path(__file__).parent / "data" / "bench_baseline.json"
+SEED = 1
+
+_CACHE: dict[str, dict[str, dict]] = {}
+
+
+def bench_records(engine: str) -> dict[str, dict]:
+    """Per-config {cycles, instructions} for the mcf kernel."""
+    if engine in _CACHE:
+        return _CACHE[engine]
+    source = kernel_source("mcf", scale=1)
+    records = {}
+    for name, config in ALL_CONFIGS.items():
+        binary = compile_source(source, config, seed=SEED)
+        process = load(binary, runtime=TrustedRuntime(), engine=engine)
+        process.run()
+        records[name] = {
+            "cycles": process.wall_cycles,
+            "instructions": process.stats.instructions,
+            "bnd": process.stats.bnd_checks,
+            "cfi": process.stats.cfi_checks,
+        }
+    _CACHE[engine] = records
+    return records
+
+
+def test_engines_report_identical_cycles(benchmark):
+    fast = benchmark.pedantic(
+        bench_records, args=("predecoded",), rounds=1, iterations=1
+    )
+    reference = bench_records("reference")
+    assert fast == reference
+
+
+def test_cycles_match_stored_baseline():
+    with open(BASELINE_PATH) as handle:
+        baseline = {r["config"]: r for r in json.load(handle)["records"]}
+    current = bench_records("predecoded")
+    assert set(current) == set(baseline)
+    for name, record in current.items():
+        expected = baseline[name]["cycles"]
+        assert record["cycles"] == pytest.approx(expected, rel=0.25), (
+            f"{name}: cycles {record['cycles']} drifted >25% from the "
+            f"stored baseline {expected}; if the cost model or codegen "
+            "changed intentionally, regenerate benchmarks/data/"
+            "bench_baseline.json (see its _meta.generate)"
+        )
+        assert record["bnd"] == baseline[name]["checks"]["bnd"]
+        assert record["cfi"] == baseline[name]["checks"]["cfi"]

@@ -2,7 +2,9 @@
 # End-to-end smoke test: compile and run the quickstart program under
 # OurMPX with tracing + stats on, then assert the emitted Chrome trace
 # is valid JSON containing both compile-stage (wall) and machine
-# (cycle) spans.  Run from the repo root: sh scripts/smoke.sh
+# (cycle) spans; finally sanity-check `bench --json` and assert the
+# predecoded and reference execution engines report identical cycles.
+# Run from the repo root: sh scripts/smoke.sh
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -42,4 +44,30 @@ names = {e["name"] for e in complete}
 assert any(n.startswith("compile.") for n in names), names
 assert "machine.run" in names, names
 print(f"smoke OK: {len(complete)} spans, {len(names)} distinct")
+PY
+
+# bench --json sanity: valid JSON, one record per config, and the
+# reference engine escape hatch produces bit-identical cycle counts.
+BENCH_FAST="$WORK/bench_fast.json"
+BENCH_REF="$WORK/bench_ref.json"
+python -m repro bench --seed 1 --json "$SRC" > "$BENCH_FAST"
+python -m repro bench --seed 1 --json --engine reference "$SRC" > "$BENCH_REF"
+
+python - "$BENCH_FAST" "$BENCH_REF" <<'PY'
+import json
+import sys
+
+with open(sys.argv[1]) as handle:
+    fast = json.load(handle)
+with open(sys.argv[2]) as handle:
+    ref = json.load(handle)
+assert fast, "bench --json produced no records"
+for record in fast:
+    for key in ("config", "cycles", "overhead_pct", "instructions", "checks"):
+        assert key in record, f"bench record missing {key}: {record}"
+    assert record["cycles"] > 0, record
+assert fast == ref, "engines disagree:\n%s\n%s" % (fast, ref)
+configs = [r["config"] for r in fast]
+print(f"bench OK: {len(fast)} configs ({', '.join(configs)}), "
+      "predecoded == reference")
 PY

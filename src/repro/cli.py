@@ -10,7 +10,11 @@ stats    per-configuration table of compile-stage times and check counts
 
 Common options: ``--config <name>`` (default OurMPX; see ``repro.config``),
 ``--file name=path`` to add RAM-disk files, ``--stdin-hex BYTES`` to feed
-channel 0, ``--seed N`` for deterministic magic selection.
+channel 0, ``--seed N`` for deterministic magic selection.  ``run``,
+``bench``, and ``stats`` also take ``--engine {predecoded,reference}``:
+the reference engine is the slow one-step-at-a-time interpreter kept as
+an executable specification — results are identical, only wall-clock
+differs.
 
 Observability: ``--trace out.json`` writes a Chrome-trace/Perfetto file
 covering both compiler stages (wall clock) and machine execution
@@ -117,7 +121,7 @@ def cmd_run(args) -> int:
         binary = compile_source(source, config, seed=args.seed,
                                 verify=args.verify)
         runtime = _make_runtime(args)
-        process = load(binary, runtime=runtime)
+        process = load(binary, runtime=runtime, engine=args.engine)
         profiler = None
         if args.profile:
             from .machine.profile import attach_profiler
@@ -173,7 +177,8 @@ def cmd_bench(args) -> int:
     try:
         for name, config in ALL_CONFIGS.items():
             binary = compile_source(source, config, seed=args.seed)
-            process = load(binary, runtime=_make_runtime(args))
+            process = load(binary, runtime=_make_runtime(args),
+                           engine=args.engine)
             process.run()
             cycles = process.wall_cycles
             if base_cycles is None:
@@ -234,7 +239,8 @@ def cmd_stats(args) -> int:
         note = ""
         with events.use(registry):
             binary = compile_source(source, config, seed=args.seed)
-            process = load(binary, runtime=_make_runtime(args))
+            process = load(binary, runtime=_make_runtime(args),
+                           engine=args.engine)
             try:
                 process.run()
             except MachineFault as fault:
@@ -310,6 +316,11 @@ def build_parser() -> argparse.ArgumentParser:
                        help="user=pw: register a stored password")
         p.add_argument("--stdin-hex", default=None,
                        help="hex bytes fed to channel 0")
+        if name in ("run", "bench", "stats"):
+            p.add_argument("--engine", default="predecoded",
+                           choices=("predecoded", "reference"),
+                           help="execution engine (reference = slow "
+                                "debug interpreter; identical results)")
         p.set_defaults(handler=handler)
         if name in ("run", "verify", "bench", "stats"):
             p.add_argument("--trace", metavar="PATH", default=None,

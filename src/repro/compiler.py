@@ -70,9 +70,15 @@ def compile_and_load(
     n_cores: int = 4,
     seed: int | None = None,
     verify: bool = False,
+    engine: str = "predecoded",
 ) -> Process:
-    """Compile, link, (optionally) verify, and load MiniC source."""
+    """Compile, link, (optionally) verify, and load MiniC source.
+
+    ``engine`` selects the execution engine: ``"predecoded"`` (default,
+    fast) or ``"reference"`` (the one-step-at-a-time debug engine); both
+    produce identical simulated cycles, stats, and faults.
+    """
     binary = compile_source(
         source, config, entry=entry, seed=seed, verify=verify
     )
-    return load(binary, runtime=runtime, n_cores=n_cores)
+    return load(binary, runtime=runtime, n_cores=n_cores, engine=engine)

@@ -60,6 +60,7 @@ def load(
     binary: Binary,
     runtime: TrustedRuntime | None = None,
     n_cores: int = 4,
+    engine: str = "predecoded",
 ) -> Process:
     if runtime is None:
         runtime = TrustedRuntime()
@@ -69,7 +70,7 @@ def load(
     config = binary.config
 
     natives = runtime.natives_for(binary)
-    machine = Machine(binary, natives, n_cores=n_cores)
+    machine = Machine(binary, natives, n_cores=n_cores, engine=engine)
 
     # 1. Map the usable regions (guard areas stay unmapped).
     machine.mem.map_range(layout.public.base, layout.public.end)

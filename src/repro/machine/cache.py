@@ -11,6 +11,7 @@ this model charges for it the same way real hardware does.
 from __future__ import annotations
 
 LINE_BITS = 6  # 64-byte lines
+LINE_SIZE = 1 << LINE_BITS
 DEFAULT_SETS = 64  # 64 sets * 8 ways * 64 B = 32 KiB
 DEFAULT_WAYS = 8
 
@@ -26,8 +27,12 @@ class L1Cache:
     def access(self, addr: int) -> bool:
         """Touch the line containing ``addr``; True on hit."""
         line = addr >> LINE_BITS
-        index = line % self._n_sets
-        ways = self._sets[index]
+        ways = self._sets[line % self._n_sets]
+        if ways and ways[-1] == line:
+            # Re-touching the most-recent line leaves the LRU order
+            # unchanged — skip the remove/append shuffle.
+            self.hits += 1
+            return True
         try:
             ways.remove(line)
         except ValueError:
@@ -39,6 +44,25 @@ class L1Cache:
         self.hits += 1
         ways.append(line)
         return True
+
+    def access_span(self, addr: int, size: int) -> int:
+        """Touch every line spanned by ``[addr, addr + size)``; returns
+        the number of misses.
+
+        An access that straddles a line boundary occupies (and may
+        evict) every line it covers — this is where the separate-stacks
+        cache-pressure effect of Figure 6 comes from, so charging only
+        the first line would understate exactly the number the paper's
+        OurMPX vs OurMPX-Sep comparison is built on.
+        """
+        line = addr >> LINE_BITS
+        last = (addr + size - 1) >> LINE_BITS
+        misses = 0
+        while line <= last:
+            if not self.access(line << LINE_BITS):
+                misses += 1
+            line += 1
+        return misses
 
     def flush(self) -> None:
         for ways in self._sets:

@@ -18,7 +18,18 @@ PAGE_MASK = PAGE_SIZE - 1
 class Memory:
     def __init__(self) -> None:
         self._pages: dict[int, bytearray] = {}
+        # Page bases covered by map_range.  Backing bytearrays are
+        # allocated lazily on first touch (regions are tens of MiB and
+        # mostly untouched), so _pages holds only the materialized
+        # subset of _mapped.
+        self._mapped: set[int] = set()
         self._read_only: list[tuple[int, int]] = []
+        # Per-page permission cache: page base -> read-only ranges that
+        # can affect a write touching that page.  Stores consult this
+        # instead of scanning the full _read_only list, so the common
+        # case (a store to a page with no read-only data) is a single
+        # dict probe rather than an O(n) range walk.
+        self._ro_pages: dict[int, list[tuple[int, int]]] = {}
 
     # -- mapping --------------------------------------------------------
 
@@ -26,25 +37,38 @@ class Memory:
         """Map [lo, hi) (page-rounded) as zero-filled RW memory."""
         first = lo & ~PAGE_MASK
         last = (hi + PAGE_MASK) & ~PAGE_MASK
-        for base in range(first, last, PAGE_SIZE):
-            if base not in self._pages:
-                self._pages[base] = bytearray(PAGE_SIZE)
+        self._mapped.update(range(first, last, PAGE_SIZE))
+
+    def _page(self, base: int) -> bytearray | None:
+        """The backing page for ``base``, materializing it on first
+        touch; None when the page is unmapped."""
+        page = self._pages.get(base)
+        if page is None and base in self._mapped:
+            page = self._pages[base] = bytearray(PAGE_SIZE)
+        return page
 
     def protect_read_only(self, lo: int, hi: int) -> None:
         self._read_only.append((lo, hi))
+        # Index the range on every page where a write could overlap it.
+        # (`max(hi - 1, lo)` keeps degenerate empty ranges indexed on
+        # lo's page, preserving the historical overlap test exactly.)
+        first = lo & ~PAGE_MASK
+        last = max(hi - 1, lo) & ~PAGE_MASK
+        for base in range(first, last + 1, PAGE_SIZE):
+            self._ro_pages.setdefault(base, []).append((lo, hi))
 
     def is_mapped(self, addr: int, size: int = 1) -> bool:
         first = addr & ~PAGE_MASK
         last = (addr + size - 1) & ~PAGE_MASK
         for base in range(first, last + 1, PAGE_SIZE):
-            if base not in self._pages:
+            if base not in self._mapped:
                 return False
         return True
 
     # -- access ---------------------------------------------------------
 
     def read_int(self, addr: int, size: int) -> int:
-        page = self._pages.get(addr & ~PAGE_MASK)
+        page = self._page(addr & ~PAGE_MASK)
         offset = addr & PAGE_MASK
         if page is not None and offset + size <= PAGE_SIZE:
             return int.from_bytes(page[offset : offset + size], "little")
@@ -52,7 +76,7 @@ class Memory:
 
     def write_int(self, addr: int, size: int, value: int) -> None:
         self._check_writable(addr, size)
-        page = self._pages.get(addr & ~PAGE_MASK)
+        page = self._page(addr & ~PAGE_MASK)
         offset = addr & PAGE_MASK
         data = (value & ((1 << (8 * size)) - 1)).to_bytes(size, "little")
         if page is not None and offset + size <= PAGE_SIZE:
@@ -65,7 +89,7 @@ class Memory:
         remaining = size
         cursor = addr
         while remaining > 0:
-            page = self._pages.get(cursor & ~PAGE_MASK)
+            page = self._page(cursor & ~PAGE_MASK)
             if page is None:
                 raise MachineFault(FAULT_UNMAPPED, f"read {size}B", addr=cursor)
             offset = cursor & PAGE_MASK
@@ -88,7 +112,7 @@ class Memory:
         cursor = addr
         index = 0
         while remaining > 0:
-            page = self._pages.get(cursor & ~PAGE_MASK)
+            page = self._page(cursor & ~PAGE_MASK)
             if page is None:
                 raise MachineFault(
                     FAULT_UNMAPPED, f"write {len(data)}B", addr=cursor
@@ -101,8 +125,15 @@ class Memory:
             remaining -= chunk
 
     def _check_writable(self, addr: int, size: int) -> None:
-        for lo, hi in self._read_only:
-            if addr < hi and addr + size > lo:
-                raise MachineFault(
-                    FAULT_PERM, "write to read-only memory", addr=addr
-                )
+        ro_pages = self._ro_pages
+        if not ro_pages:
+            return
+        base = addr & ~PAGE_MASK
+        last = (addr + size - 1) & ~PAGE_MASK
+        while base <= last:
+            for lo, hi in ro_pages.get(base, ()):
+                if addr < hi and addr + size > lo:
+                    raise MachineFault(
+                        FAULT_PERM, "write to read-only memory", addr=addr
+                    )
+            base += PAGE_SIZE

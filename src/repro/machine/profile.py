@@ -10,7 +10,11 @@ Privado's time is one tight loop).
 The profiler registers through :meth:`Machine.add_step_hook` — the
 supported observation API — rather than monkey-patching ``_step``, so
 multiple observers compose and double-attachment is an error instead of
-silent double counting.
+silent double counting.  The hook contract is engine-independent:
+attribution is identical under the predecoded and reference engines
+(while a hook is attached the machine leaves its single-thread hot
+loop, so every retired instruction is reported with its exact cycle
+cost either way).
 
 Usage::
 

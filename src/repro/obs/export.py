@@ -9,10 +9,11 @@ from __future__ import annotations
 
 import json
 
-from .events import Registry
+from .events import CYCLES, Registry
 from .trace import to_chrome_trace, write_chrome_trace  # noqa: F401 (re-export)
 
 __all__ = [
+    "cycle_span_signature",
     "metrics_to_json",
     "render_table",
     "render_kv_table",
@@ -20,6 +21,28 @@ __all__ = [
     "to_chrome_trace",
     "write_chrome_trace",
 ]
+
+
+def cycle_span_signature(registry: Registry) -> list[tuple]:
+    """Canonical tuples for every simulated-cycle span in the registry.
+
+    The cycle-clock spans (and their args) are the engine-independent
+    part of a trace: two runs of the same binary must produce identical
+    signatures whichever execution engine ran them, which is what the
+    engine-equivalence suite pins.  Wall-clock spans are excluded —
+    host timing differs between engines by design.
+    """
+    return [
+        (
+            span.name,
+            span.ts,
+            span.dur,
+            span.tid,
+            tuple(sorted(span.args.items())),
+        )
+        for span in registry.spans
+        if span.clock == CYCLES
+    ]
 
 
 def metrics_to_json(registry: Registry) -> str:

@@ -19,9 +19,10 @@ from __future__ import annotations
 
 import pytest
 
-from repro import compile_and_load
 from repro.apps.spec import SPEC_NAMES, kernel_source
+from repro.build import BuildRequest, default_session
 from repro.config import SPEC_CONFIGS
+from repro.link.loader import load
 
 from .conftest import Table, fmt_pct, overhead_pct
 
@@ -32,10 +33,17 @@ def _run_kernel(name: str) -> dict[str, int]:
     if name in _RESULTS:
         return _RESULTS[name]
     source = kernel_source(name, scale=1)
+    # All six configurations build through the shared session (parallel
+    # + cached, byte-identical to serial); execution stays serial so
+    # cycle counts are unaffected by the build width.
+    session = default_session()
+    binaries = session.build_many(
+        [BuildRequest(source=source, config=config) for config in SPEC_CONFIGS]
+    )
     cycles: dict[str, int] = {}
     expected_rc = None
-    for config in SPEC_CONFIGS:
-        process = compile_and_load(source, config)
+    for config, binary in zip(SPEC_CONFIGS, binaries):
+        process = load(binary)
         rc = process.run()
         if expected_rc is None:
             expected_rc = rc

@@ -71,3 +71,22 @@ configs = [r["config"] for r in fast]
 print(f"bench OK: {len(fast)} configs ({', '.join(configs)}), "
       "predecoded == reference")
 PY
+
+# Build-cache smoke: a cold build populates the object cache; the warm
+# rebuild (here also parallel, --jobs 4) must hit the cache for every
+# unit and reproduce bench --json byte-for-byte.  Cached/parallel
+# builds are also required to match the plain serial run above.
+CACHE="$WORK/objcache"
+BENCH_COLD="$WORK/bench_cold.json"
+BENCH_WARM="$WORK/bench_warm.json"
+WARM_METRICS="$WORK/warm_metrics.txt"
+python -m repro bench --seed 1 --json --cache-dir "$CACHE" "$SRC" > "$BENCH_COLD"
+python -m repro bench --seed 1 --json --cache-dir "$CACHE" --jobs 4 \
+    --metrics "$SRC" > "$BENCH_WARM" 2> "$WARM_METRICS"
+cmp "$BENCH_COLD" "$BENCH_FAST"
+cmp "$BENCH_COLD" "$BENCH_WARM"
+grep -q "build.cache.hit" "$WARM_METRICS"
+# (plain grep, not -q: -q exits at first match and the early pipe
+# close would surface as a broken-pipe error from the CLI)
+REPRO_CACHE_DIR="$CACHE" python -m repro cache stats | grep "entries" > /dev/null
+echo "cache OK: cold == warm == serial bench output, warm run hit the cache"

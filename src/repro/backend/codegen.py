@@ -715,10 +715,12 @@ def compile_module(module: ir.IRModule, config: BuildConfig):
             for func in module.functions.values()
         ]
     imports = sorted(module.externs.values(), key=lambda e: e.name)
+    externals = sorted(module.u_externs.values(), key=lambda e: e.name)
     return UObject(
         name=module.name,
         functions=functions,
         globals=dict(module.globals),
         imports=imports,
         config=config,
+        externals=externals,
     )

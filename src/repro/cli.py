@@ -7,6 +7,9 @@ verify   compile and run ConfVerify on the result
 disasm   compile and print the linked instruction stream
 bench    run one source under every configuration and print overheads
 stats    per-configuration table of compile-stage times and check counts
+build    separate compilation: sources -> ``.uo`` objects, or ``--link``
+         several objects/sources into a serialized binary
+cache    inspect the content-addressed object cache (stats/list/clear)
 
 Common options: ``--config <name>`` (default OurMPX; see ``repro.config``),
 ``--file name=path`` to add RAM-disk files, ``--stdin-hex BYTES`` to feed
@@ -15,6 +18,18 @@ channel 0, ``--seed N`` for deterministic magic selection.  ``run``,
 the reference engine is the slow one-step-at-a-time interpreter kept as
 an executable specification — results are identical, only wall-clock
 differs.
+
+Build-layer options: ``--cache-dir DIR`` attaches a content-addressed
+object cache (warm rebuilds skip every compile stage; also honoured via
+``$REPRO_CACHE_DIR``), and ``--jobs N`` compiles independent units in
+parallel (``bench`` compiles its 8 configurations concurrently).
+Parallel and cached builds are byte-identical to cold serial builds.
+
+Prototype injection: unless ``--no-prototypes`` is given, the standard
+T prototypes are prepended when the source contains no real ``extern
+trusted`` declaration.  The detector ignores comments and string
+literals, so merely *mentioning* "extern trusted" in a comment does not
+suppress injection.
 
 Observability: ``--trace out.json`` writes a Chrome-trace/Perfetto file
 covering both compiler stages (wall clock) and machine execution
@@ -25,9 +40,24 @@ histogram as a table on stderr.  See docs/OBSERVABILITY.md.
 from __future__ import annotations
 
 import argparse
+import contextlib
 import json
+import os
+import re
 import sys
+import time
 
+from .build import (
+    BuildRequest,
+    BuildSession,
+    ObjectCache,
+    default_session,
+    dump_binary,
+    dump_uobject,
+    load_uobject,
+    object_cache_key,
+    use_session,
+)
 from .compiler import compile_source
 from .config import ALL_CONFIGS, OUR_MPX
 from .errors import MachineFault, ReproError
@@ -35,11 +65,27 @@ from .link.loader import load
 from .obs import events, export
 from .runtime.trusted import T_PROTOTYPES, TrustedRuntime
 
+# Real `extern trusted` declarations, ignoring comments and string/char
+# literals (stripped first so a comment mentioning the phrase does not
+# suppress prototype injection).
+_EXTERN_TRUSTED = re.compile(r"\bextern\s+trusted\b")
+_SOURCE_NOISE = re.compile(
+    r"//[^\n]*"  # line comments
+    r"|/\*.*?\*/"  # block comments
+    r'|"(?:\\.|[^"\\])*"'  # string literals
+    r"|'(?:\\.|[^'\\])*'",  # char literals
+    re.S,
+)
+
+
+def _has_trusted_declarations(source: str) -> bool:
+    return _EXTERN_TRUSTED.search(_SOURCE_NOISE.sub(" ", source)) is not None
+
 
 def _read_source(path: str, add_prototypes: bool) -> str:
     with open(path) as handle:
         source = handle.read()
-    if add_prototypes and "extern trusted" not in source:
+    if add_prototypes and not _has_trusted_declarations(source):
         source = T_PROTOTYPES + source
     return source
 
@@ -47,15 +93,40 @@ def _read_source(path: str, add_prototypes: bool) -> str:
 def _make_runtime(args) -> TrustedRuntime:
     runtime = TrustedRuntime()
     for spec in args.file or []:
-        name, _, path = spec.partition("=")
+        name, sep, path = spec.partition("=")
+        if not sep or not name or not path:
+            raise ReproError(
+                f"malformed --file spec {spec!r} (expected name=path)"
+            )
         with open(path, "rb") as handle:
             runtime.add_file(name, handle.read())
     for spec in args.password or []:
-        user, _, pw = spec.partition("=")
+        user, sep, pw = spec.partition("=")
+        if not sep or not user:
+            raise ReproError(
+                f"malformed --password spec {spec!r} (expected user=password)"
+            )
         runtime.set_password(user, pw.encode())
     if args.stdin_hex:
         runtime.channel(0).feed(bytes.fromhex(args.stdin_hex))
     return runtime
+
+
+@contextlib.contextmanager
+def _session_scope(args):
+    """Scope a build session built from ``--cache-dir``/``--jobs``.
+
+    Without either flag the process default session (which honours
+    ``$REPRO_CACHE_DIR``/``$REPRO_BUILD_JOBS``) stays active.
+    """
+    cache_dir = getattr(args, "cache_dir", None)
+    jobs = getattr(args, "jobs", None)
+    if not cache_dir and not jobs:
+        yield default_session()
+        return
+    cache = ObjectCache(cache_dir) if cache_dir else None
+    with use_session(BuildSession(cache=cache, jobs=jobs or 1)) as session:
+        yield session
 
 
 def _activate_obs(args) -> events.Registry | None:
@@ -175,8 +246,16 @@ def cmd_bench(args) -> int:
     records = []
     base_cycles = None
     try:
-        for name, config in ALL_CONFIGS.items():
-            binary = compile_source(source, config, seed=args.seed)
+        # Compile every configuration up front (in parallel with
+        # --jobs); execution stays serial in configuration order, so
+        # cycle counts are identical whatever the build width.
+        session = default_session()
+        requests = [
+            BuildRequest(source=source, config=config, seed=args.seed)
+            for config in ALL_CONFIGS.values()
+        ]
+        binaries = session.build_many(requests, jobs=getattr(args, "jobs", None))
+        for (name, config), binary in zip(ALL_CONFIGS.items(), binaries):
             process = load(binary, runtime=_make_runtime(args),
                            engine=args.engine)
             process.run()
@@ -291,6 +370,106 @@ def cmd_stats(args) -> int:
     return 0
 
 
+def cmd_build(args) -> int:
+    """Separate compilation: sources -> objects, optionally linked.
+
+    Each ``.mc``/source argument compiles to a serialized pre-link U
+    object; ``.uo`` arguments are loaded as already-built objects.
+    With ``--link OUT`` every object links into one binary (resolving
+    cross-object externals) and OUT receives the serialized binary.
+    With several sources (or ``--allow-undefined``), declared-but-
+    undefined untrusted functions become cross-object externals for
+    the linker instead of compile errors.
+    """
+    session = default_session()
+    config = ALL_CONFIGS[args.config]
+    allow_undefined = args.allow_undefined or len(args.sources) > 1
+    objs = []
+    for path in args.sources:
+        if path.endswith(".uo"):
+            with open(path, "rb") as handle:
+                obj = load_uobject(handle.read())
+            if obj.config != config:
+                raise ReproError(
+                    f"{path}: object was built for config "
+                    f"{obj.config.name}, not {config.name}"
+                )
+            objs.append((path, None, obj))
+            continue
+        source = _read_source(path, not args.no_prototypes)
+        obj = session.compile_unit(
+            source,
+            config,
+            filename=path,
+            seed=args.seed,
+            allow_undefined=allow_undefined,
+        )
+        objs.append((path, source, obj))
+
+    if args.link is not None:
+        binary = session.link_units(
+            [obj for _, _, obj in objs], entry=args.entry, seed=args.seed
+        )
+        data = dump_binary(binary)
+        with open(args.link, "wb") as handle:
+            handle.write(data)
+        print(
+            f"linked {len(objs)} object(s) -> {args.link} "
+            f"({len(data)} bytes, {len(binary.code)} code words)"
+        )
+        return 0
+
+    for path, source, obj in objs:
+        if source is None:
+            continue  # already an object file
+        stem = os.path.basename(path)
+        stem = stem[: -len(".mc")] if stem.endswith(".mc") else stem
+        out = (
+            os.path.join(args.out_dir, stem + ".uo")
+            if args.out_dir
+            else path + ".uo"
+        )
+        if args.out_dir:
+            os.makedirs(args.out_dir, exist_ok=True)
+        data = dump_uobject(obj)
+        with open(out, "wb") as handle:
+            handle.write(data)
+        key = object_cache_key(source, config, args.seed, allow_undefined)
+        print(
+            f"{path} -> {out} ({len(data)} bytes, "
+            f"{len(obj.functions)} functions, key {key[:12]})"
+        )
+    return 0
+
+
+def cmd_cache(args) -> int:
+    """Inspect or clear the content-addressed object cache."""
+    root = args.cache_dir or os.environ.get("REPRO_CACHE_DIR")
+    if not root:
+        raise ReproError(
+            "no cache directory (pass --cache-dir or set $REPRO_CACHE_DIR)"
+        )
+    cache = ObjectCache(root)
+    if args.action == "stats":
+        stats = cache.stats()
+        print(
+            export.render_kv_table(
+                sorted(stats.items()), title="object cache"
+            )
+        )
+    elif args.action == "list":
+        for digest, size, mtime in sorted(
+            cache.entries(), key=lambda e: (e[2], e[0])
+        ):
+            stamp = time.strftime(
+                "%Y-%m-%d %H:%M:%S", time.localtime(mtime)
+            )
+            print(f"{digest}  {size:>8}  {stamp}")
+    else:  # clear
+        print(f"removed {cache.clear()} entries from {root}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="ConfLLVM-reproduction toolchain driver"
@@ -328,6 +507,13 @@ def build_parser() -> argparse.ArgumentParser:
         if name in ("run", "verify", "bench"):
             p.add_argument("--metrics", action="store_true",
                            help="dump all recorded metrics to stderr")
+        p.add_argument("--cache-dir", default=None, metavar="DIR",
+                       help="content-addressed object cache directory "
+                            "(warm rebuilds skip all compile stages)")
+        if name == "bench":
+            p.add_argument("--jobs", type=int, default=None, metavar="N",
+                           help="compile configurations with N parallel "
+                                "workers (results are byte-identical)")
         if name == "run":
             p.add_argument("--verify", action="store_true",
                            help="run ConfVerify before loading")
@@ -338,13 +524,49 @@ def build_parser() -> argparse.ArgumentParser:
         if name == "bench":
             p.add_argument("--json", action="store_true",
                            help="emit machine-readable benchmark records")
+
+    p = sub.add_parser(
+        "build", help="separate compilation: sources -> objects / binary"
+    )
+    p.add_argument("sources", nargs="+", metavar="SRC",
+                   help="MiniC source files, or prebuilt .uo objects")
+    p.add_argument("--config", default=OUR_MPX.name,
+                   choices=sorted(ALL_CONFIGS))
+    p.add_argument("--seed", type=int, default=None)
+    p.add_argument("--no-prototypes", action="store_true",
+                   help="do not prepend the standard T prototypes")
+    p.add_argument("--allow-undefined", action="store_true",
+                   help="turn declared-but-undefined untrusted functions "
+                        "into cross-object externals (implied when "
+                        "building several sources)")
+    p.add_argument("--out-dir", default=None, metavar="DIR",
+                   help="directory for .uo object files "
+                        "(default: next to each source)")
+    p.add_argument("--link", default=None, metavar="OUT",
+                   help="link all objects and write the serialized binary")
+    p.add_argument("--entry", default="main",
+                   help="entry function for --link (default: main)")
+    p.add_argument("--jobs", type=int, default=None, metavar="N",
+                   help="build session parallelism width")
+    p.add_argument("--cache-dir", default=None, metavar="DIR",
+                   help="content-addressed object cache directory")
+    p.set_defaults(handler=cmd_build)
+
+    p = sub.add_parser("cache", help="inspect the object cache")
+    p.add_argument("action", choices=("stats", "list", "clear"))
+    p.add_argument("--cache-dir", default=None, metavar="DIR",
+                   help="cache directory (default: $REPRO_CACHE_DIR)")
+    p.set_defaults(handler=cmd_cache)
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     try:
-        return args.handler(args)
+        if args.command == "cache":
+            return args.handler(args)
+        with _session_scope(args):
+            return args.handler(args)
     except (ReproError, OSError) as error:
         print(f"error: {error}", file=sys.stderr)
         return 1

@@ -1,4 +1,4 @@
-"""The one-call driver: MiniC source -> running process.
+"""The one-call drivers: MiniC source -> running process.
 
 This is the public API most examples and benchmarks use::
 
@@ -7,23 +7,22 @@ This is the public API most examples and benchmarks use::
     process = compile_and_load(source, OUR_MPX)
     exit_code = process.run()
 
-The full pipeline is parse -> analyze (taint inference) -> lower to IR
--> optimize -> codegen (+instrumentation) -> link (magic selection) ->
+Both entry points are thin compatibility wrappers over the staged
+build layer (:mod:`repro.build`): they delegate to the process-wide
+default :class:`~repro.build.session.BuildSession`, so an active
+session override (``repro.build.use_session``) transparently gives
+every caller object caching and parallel-build support.  The staged
+pipeline is parse -> analyze (taint inference) -> lower to IR ->
+optimize -> codegen (+instrumentation) -> link (magic selection) ->
 verify (ConfVerify, unless disabled) -> load.
 """
 
 from __future__ import annotations
 
-from .backend.codegen import compile_module
+from .build.session import default_session
 from .config import BuildConfig
-from .frontend.lower import lower_program
-from .link.linker import link
 from .link.loader import Process, load
-from .link.objfile import Binary, UObject
-from .minic.parser import parse
-from .minic.sema import analyze
-from .obs import events
-from .opt.pipeline import optimize_module
+from .link.objfile import Binary
 from .runtime.trusted import TrustedRuntime
 
 
@@ -40,26 +39,14 @@ def compile_source(
     When an obs registry is active (``repro.obs.events``), every stage
     records a wall-clock span: lex/parse (frontend), sema + taint-solve,
     lower, opt passes, regalloc/codegen, link, and (optionally) verify,
-    all nested under ``compile.total``.
+    all nested under ``compile.total``.  A warm object cache on the
+    active build session skips everything up to the link (the cache hit
+    is visible as a ``build.cache.hit`` counter instead of stage spans).
     """
-    with events.span("compile.total", config=config.name, filename=filename):
-        program = parse(source, filename)
-        with events.span("compile.sema"):
-            checked = analyze(
-                program,
-                strict=config.strict,
-                all_private=config.all_private,
-            )
-        with events.span("compile.lower"):
-            module = lower_program(checked)
-        optimize_module(module, pipeline=config.pipeline)
-        obj: UObject = compile_module(module, config)
-        binary = link(obj, entry=entry, seed=seed)
-        if verify:
-            from .verifier.verify import verify_binary
-
-            verify_binary(binary)
-    return binary
+    return default_session().build(
+        source, config, entry=entry, filename=filename, seed=seed,
+        verify=verify,
+    )
 
 
 def compile_and_load(

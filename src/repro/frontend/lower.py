@@ -9,6 +9,8 @@ by the ``promote_slots`` optimization pass.
 
 from __future__ import annotations
 
+import hashlib
+
 from ..errors import CodegenError
 from ..ir.core import (
     Bin,
@@ -741,12 +743,24 @@ def _elem_storage_size(node: ast.Index) -> int:
     raise CodegenError("index base is not a pointer")
 
 
-def lower_program(checked: CheckedProgram, module_name: str = "U") -> IRModule:
-    """Lower a checked program to an IR module."""
+def lower_program(
+    checked: CheckedProgram,
+    module_name: str = "U",
+    allow_undefined: bool = False,
+) -> IRModule:
+    """Lower a checked program to an IR module.
+
+    ``allow_undefined`` enables separate compilation: untrusted
+    functions that are declared but not defined become *cross-object
+    externals* (``module.u_externs``) for the multi-object linker to
+    resolve against another unit, instead of a hard error.
+    """
     module = IRModule(module_name)
     string_names: dict[bytes, str] = {}
-    for index, data in enumerate(dict.fromkeys(checked.strings)):
-        name = f".str.{index}"
+    for data in dict.fromkeys(checked.strings):
+        # Content-addressed names: identical literals in separately
+        # compiled units deduplicate at link time instead of colliding.
+        name = f".str.{hashlib.blake2b(data, digest_size=8).hexdigest()}"
         string_names[data] = name
         module.globals[name] = IRGlobal(
             name=name,
@@ -793,9 +807,21 @@ def lower_program(checked: CheckedProgram, module_name: str = "U") -> IRModule:
                 ),
             )
         elif info.body is None:
-            raise CodegenError(
-                f"function {info.name!r} declared but never defined "
-                "(only 'extern trusted' imports may lack bodies)"
+            if not allow_undefined:
+                raise CodegenError(
+                    f"function {info.name!r} declared but never defined "
+                    "(only 'extern trusted' imports may lack bodies; "
+                    "compile with allow_undefined for separate units)"
+                )
+            module.u_externs[info.name] = ExternSig(
+                name=info.name,
+                sig=info.type,
+                arg_taints=[_outer_taint(p) for p in info.type.params],
+                ret_taint=(
+                    PUBLIC
+                    if isinstance(info.type.ret, VoidType)
+                    else _outer_taint(info.type.ret)
+                ),
             )
     for info in checked.functions.values():
         if info.body is None:

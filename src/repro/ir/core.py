@@ -520,6 +520,9 @@ class IRModule:
         self.functions: dict[str, IRFunction] = {}
         self.globals: dict[str, IRGlobal] = {}
         self.externs: dict[str, ExternSig] = {}
+        # Untrusted functions declared but defined in *another* unit
+        # (separate compilation); resolved by the multi-object linker.
+        self.u_externs: dict[str, ExternSig] = {}
 
     def add_function(self, func: IRFunction) -> None:
         if func.name in self.functions:

@@ -33,9 +33,126 @@ from .objfile import Binary, UObject
 EXTERNALS_SYMBOL = "__externals"
 
 
-def link(obj: UObject, entry: str = "main", seed: int | None = None) -> Binary:
+def link(
+    objs: UObject | list[UObject] | tuple[UObject, ...],
+    entry: str = "main",
+    seed: int | None = None,
+) -> Binary:
+    """Link one U object, or several separately-compiled ones.
+
+    Multi-object linking resolves *cross-object externals*: a function
+    declared-but-undefined in one unit (``UObject.externals``) binds to
+    its definition in another, with the declared taint signature
+    checked against the definition's entry bits (the same static check
+    direct calls get).  Function code is laid out in unit order, then
+    per-unit definition order; trusted imports are deduplicated by name
+    into one externals table.
+    """
+    if isinstance(objs, UObject):
+        objs = [objs]
+    obj = merge_objects(list(objs))
     with events.span("compile.link", config=obj.config.name):
         return _link(obj, entry, seed)
+
+
+def merge_objects(objs: list[UObject]) -> UObject:
+    """Merge separately-compiled units into one linkable object.
+
+    Validates config consistency, symbol uniqueness, trusted-import
+    signature agreement, and that every cross-object external resolves
+    to a definition with matching taint bits.  A single fully-defined
+    object passes through untouched (bit-identical single-unit links).
+    """
+    if not objs:
+        raise LinkError("no objects to link")
+    config = objs[0].config
+    for other in objs[1:]:
+        if other.config != config:
+            raise LinkError(
+                "config mismatch across objects: "
+                f"{objs[0].name!r} built with {config.name}, "
+                f"{other.name!r} with {other.config.name}"
+            )
+    if len(objs) == 1 and not objs[0].externals:
+        return objs[0]
+
+    functions = []
+    defined: dict[str, int] = {}
+    for obj in objs:
+        for func in obj.functions:
+            if func.name in defined:
+                raise LinkError(
+                    f"duplicate definition of {func.name!r} "
+                    f"(defined in more than one object)"
+                )
+            defined[func.name] = func.entry_bits
+            functions.append(func)
+
+    globals_merged: dict[str, IRGlobal] = {}
+    for obj in objs:
+        for name, g in obj.globals.items():
+            existing = globals_merged.get(name)
+            if existing is not None:
+                # Deduplicated read-only literals (e.g. identical string
+                # constants emitted by two units) may merge; anything
+                # else is a symbol clash.
+                if (
+                    existing.read_only
+                    and g.read_only
+                    and existing.init_bytes == g.init_bytes
+                    and existing.size == g.size
+                ):
+                    continue
+                raise LinkError(
+                    f"duplicate global {name!r} "
+                    "(defined in more than one object)"
+                )
+            globals_merged[name] = g
+
+    imports: dict[str, object] = {}
+    for obj in objs:
+        for ext in obj.imports:
+            existing = imports.get(ext.name)
+            if existing is None:
+                imports[ext.name] = ext
+            elif (
+                list(existing.arg_taints) != list(ext.arg_taints)
+                or existing.ret_taint != ext.ret_taint
+            ):
+                raise LinkError(
+                    f"trusted import {ext.name!r} declared with "
+                    "conflicting taint signatures across objects"
+                )
+
+    for obj in objs:
+        for ext in obj.externals:
+            callee_bits = defined.get(ext.name)
+            if callee_bits is None:
+                raise LinkError(
+                    f"unresolved external {ext.name!r} "
+                    f"(declared in {obj.name!r}, defined in no linked object)"
+                )
+            declared_bits = isa.mcall_bits(
+                [int(t) for t in ext.arg_taints],
+                int(ext.ret_taint),
+                len(ext.arg_taints),
+            )
+            if declared_bits != callee_bits:
+                raise LinkError(
+                    f"external {ext.name!r}: declaration in {obj.name!r} "
+                    f"(bits={declared_bits:05b}) does not match the "
+                    f"definition (bits={callee_bits:05b})"
+                )
+
+    events.counter("linker.objects").inc(len(objs))
+    return UObject(
+        name="+".join(obj.name for obj in objs),
+        functions=functions,
+        globals=globals_merged,
+        imports=sorted(imports.values(), key=lambda e: e.name),
+        config=config,
+        externals=[],
+    )
 
 
 def _link(obj: UObject, entry: str, seed: int | None) -> Binary:

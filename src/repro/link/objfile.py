@@ -25,7 +25,13 @@ class CompiledFunction:
 
 @dataclass
 class UObject:
-    """The compiled-but-unlinked U module (the paper's pre-link dll)."""
+    """The compiled-but-unlinked U module (the paper's pre-link dll).
+
+    Units serialize to a stable, versioned format via
+    ``repro.build.serialize`` (``dump_uobject``/``load_uobject``) so
+    they can live in the content-addressed object cache and be linked
+    in a later process.
+    """
 
     name: str
     functions: list[CompiledFunction]
@@ -34,6 +40,11 @@ class UObject:
     # table slot).
     imports: list[ExternSig]
     config: BuildConfig
+    # Untrusted (U) functions this unit declares but does not define —
+    # separate compilation's cross-object externals.  The multi-object
+    # linker resolves each against a definition in another unit and
+    # checks the declared taint signature against the definition.
+    externals: list[ExternSig] = field(default_factory=list)
 
 
 @dataclass

@@ -1,0 +1,88 @@
+"""Parallel build executor: jobs=N must be byte-identical to serial."""
+
+from __future__ import annotations
+
+from repro.build import BuildRequest, BuildSession, ObjectCache, dump_binary
+from repro.config import ALL_CONFIGS
+from repro.link.loader import load
+from repro.obs import events
+from repro.runtime.trusted import T_PROTOTYPES
+
+WORK = T_PROTOTYPES + """
+int hash_step(int h, int c) {
+    return (h * 31 + c) % 65536;
+}
+
+int main() {
+    int h = 7;
+    for (int i = 0; i < 64; i++) { h = hash_step(h, i); }
+    print_int(h);
+    return h % 64;
+}
+"""
+
+COUNTDOWN = T_PROTOTYPES + """
+int main() {
+    int n = 12;
+    while (n > 0) { n = n - 1; }
+    return n;
+}
+"""
+
+
+def _requests():
+    reqs = []
+    for source in (WORK, COUNTDOWN):
+        for config in ALL_CONFIGS.values():
+            reqs.append(BuildRequest(source=source, config=config, seed=3))
+    return reqs
+
+
+class TestParallelDeterminism:
+    def test_jobs4_matches_serial_byte_for_byte(self):
+        requests = _requests()
+        serial = BuildSession(jobs=1).build_many(requests)
+        parallel = BuildSession(jobs=4).build_many(requests)
+        assert len(serial) == len(parallel) == len(requests)
+        for a, b in zip(serial, parallel):
+            assert dump_binary(a) == dump_binary(b)
+
+    def test_results_arrive_in_request_order(self):
+        requests = _requests()
+        binaries = BuildSession(jobs=4).build_many(requests)
+        for request, binary in zip(requests, binaries):
+            assert binary.config == request.config
+
+    def test_parallel_counters(self):
+        registry = events.Registry()
+        with events.use(registry):
+            BuildSession(jobs=4).build_many(_requests())
+        snap = registry.metrics_snapshot()
+        assert snap["build.parallel.batches{jobs=4}"] == 1
+        assert snap["build.parallel.units"] == len(_requests())
+
+    def test_parallel_execution_matches_serial(self):
+        request = BuildRequest(
+            source=WORK, config=ALL_CONFIGS["OurMPX"], seed=3
+        )
+        serial = BuildSession(jobs=1).build_many([request, request])
+        parallel = BuildSession(jobs=2).build_many([request, request])
+        runs = [load(b) for b in (*serial, *parallel)]
+        codes = {p.run() for p in runs}
+        assert len(codes) == 1
+        assert len({p.wall_cycles for p in runs}) == 1
+        assert len({repr(p.stdout) for p in runs}) == 1
+
+    def test_parallel_workers_share_cache(self, tmp_path):
+        cache = ObjectCache(tmp_path)
+        session = BuildSession(cache=cache, jobs=4)
+        requests = _requests()
+        cold = session.build_many(requests)
+        registry = events.Registry()
+        with events.use(registry):
+            warm = session.build_many(requests)
+        snap = registry.metrics_snapshot()
+        assert snap["build.cache.hit"] == len(requests)
+        assert "compile.codegen" not in {s.name for s in registry.spans}
+        for a, b in zip(cold, warm):
+            assert dump_binary(a) == dump_binary(b)

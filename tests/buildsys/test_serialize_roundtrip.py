@@ -1,0 +1,172 @@
+"""Object-file round-trip: serialize -> deserialize -> link must give a
+bit-identical Binary (canonical dump equality), identical simulated
+cycles and machine stats, and verifier acceptance — for one app per
+region-relevant feature: globals, function pointers, varargs.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import OUR_MPX, OUR_SEG, compile_source
+from repro.apps.libmini import LIBMINI
+from repro.build import (
+    FORMAT_VERSION,
+    SerializeError,
+    dump_binary,
+    dump_uobject,
+    load_binary,
+    load_uobject,
+)
+from repro.build.session import BuildSession
+from repro.link.linker import link
+from repro.link.loader import load
+from repro.runtime.trusted import T_PROTOTYPES
+from repro.verifier.verify import verify_binary
+
+SEED = 11
+
+# Globals coverage: public + private globals, integer and string
+# initializers, read-only string literals in both regions' code paths.
+GLOBALS_APP = T_PROTOTYPES + """
+int counter = 5;
+private int secret_acc;
+char banner[16] = "globals";
+int table[8];
+
+int main() {
+    for (int i = 0; i < 8; i++) { table[i] = i * counter; }
+    secret_acc = (private int)table[7];
+    print_str(banner);
+    print_int(table[3] + counter);
+    return table[7] % 256;
+}
+"""
+
+# Function-pointer coverage: CFI magic addresses flow through
+# MovFuncAddr and indirect calls.
+FUNCPTR_APP = T_PROTOTYPES + """
+int twice(int x) { return x + x; }
+int thrice(int x) { return x + x + x; }
+
+int pick(int which, int x) {
+    int (*op)(int);
+    if (which == 0) { op = twice; } else { op = thrice; }
+    return op(x);
+}
+
+int main() {
+    print_int(pick(0, 10) + pick(1, 10));
+    return pick(1, 7);
+}
+"""
+
+# Varargs coverage: libmini's variadic sprintf subset.
+VARARGS_APP = T_PROTOTYPES + LIBMINI + """
+char out[64];
+
+int main() {
+    int n = mini_sprintf(out, "%d-%s-%c", 42, "ok", 33);
+    print_str(out);
+    return n;
+}
+"""
+
+APPS = {
+    "globals": GLOBALS_APP,
+    "funcptr": FUNCPTR_APP,
+    "varargs": VARARGS_APP,
+}
+
+CONFIGS = {c.name: c for c in (OUR_MPX, OUR_SEG)}
+
+
+def _machine_signature(process) -> tuple:
+    stats = process.stats
+    return (
+        process.wall_cycles,
+        stats.instructions,
+        stats.bnd_checks,
+        stats.cfi_checks,
+        stats.t_calls,
+    )
+
+
+@pytest.mark.parametrize("config_name", sorted(CONFIGS))
+@pytest.mark.parametrize("app", sorted(APPS))
+class TestUObjectRoundTrip:
+    def test_roundtrip_bit_identical(self, app, config_name):
+        config = CONFIGS[config_name]
+        session = BuildSession()
+        obj = session.compile_unit(APPS[app], config, seed=SEED)
+        blob = dump_uobject(obj)
+
+        obj2 = load_uobject(blob)
+        # Re-serializing the deserialized unit is a fixed point.
+        assert dump_uobject(obj2) == blob
+
+        # Linking must be mutation-order independent: the original and
+        # the round-tripped object produce bit-identical binaries.
+        bin1 = link(obj, seed=SEED)
+        bin2 = link(obj2, seed=SEED)
+        assert dump_binary(bin1) == dump_binary(bin2)
+
+        p1, p2 = load(bin1), load(bin2)
+        rc1, rc2 = p1.run(), p2.run()
+        assert rc1 == rc2
+        assert p1.stdout == p2.stdout
+        assert _machine_signature(p1) == _machine_signature(p2)
+
+        # The round-tripped binary still satisfies ConfVerify.
+        verify_binary(bin2)
+
+
+class TestBinaryRoundTrip:
+    def test_linked_binary_round_trips_and_runs(self):
+        binary = compile_source(GLOBALS_APP, OUR_MPX, seed=SEED)
+        data = dump_binary(binary)
+        binary2 = load_binary(data)
+        assert dump_binary(binary2) == data
+        verify_binary(binary2)
+
+        p1, p2 = load(binary), load(binary2)
+        assert p1.run() == p2.run()
+        assert p1.stdout == p2.stdout
+        assert _machine_signature(p1) == _machine_signature(p2)
+
+    def test_layout_reconstructed(self):
+        binary = compile_source(GLOBALS_APP, OUR_SEG, seed=SEED)
+        binary2 = load_binary(dump_binary(binary))
+        assert binary2.layout is not None
+        assert binary2.layout == binary.layout
+        assert binary2.read_only_ranges == binary.read_only_ranges
+
+
+class TestFormatVersioning:
+    def test_version_tag_present(self):
+        session = BuildSession()
+        obj = session.compile_unit(FUNCPTR_APP, OUR_MPX, seed=SEED)
+        doc = json.loads(dump_uobject(obj).decode())
+        assert doc["format"] == FORMAT_VERSION
+        assert doc["kind"] == "uobject"
+
+    def test_wrong_version_rejected(self):
+        session = BuildSession()
+        obj = session.compile_unit(FUNCPTR_APP, OUR_MPX, seed=SEED)
+        doc = json.loads(dump_uobject(obj).decode())
+        doc["format"] = FORMAT_VERSION + 999
+        with pytest.raises(SerializeError):
+            load_uobject(json.dumps(doc).encode())
+
+    def test_kind_mismatch_rejected(self):
+        binary = compile_source(GLOBALS_APP, OUR_MPX, seed=SEED)
+        with pytest.raises(SerializeError):
+            load_uobject(dump_binary(binary))
+
+    def test_garbage_rejected(self):
+        with pytest.raises(SerializeError):
+            load_uobject(b"\x00\x01not json")
+        with pytest.raises(SerializeError):
+            load_binary(b"[]")

@@ -190,3 +190,184 @@ class TestCliStats:
             if e["ph"] == "X"
         }
         assert "Base" in configs and "OurMPX" in configs
+
+
+class TestCliSpecValidation:
+    def test_malformed_file_spec_fails_fast(self, hello_file, capsys):
+        assert main(["run", hello_file, "--file", "nopath"]) == 1
+        err = capsys.readouterr().err
+        assert "malformed --file spec" in err
+        assert "name=path" in err
+
+    def test_empty_file_name_rejected(self, hello_file, tmp_path, capsys):
+        data = tmp_path / "d.bin"
+        data.write_bytes(b"x")
+        assert main(["run", hello_file, "--file", f"={data}"]) == 1
+        assert "malformed --file spec" in capsys.readouterr().err
+
+    def test_missing_file_reported_cleanly(self, hello_file, capsys):
+        assert main(["run", hello_file, "--file", "in=/no/such/file"]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_malformed_password_spec_fails_fast(self, hello_file, capsys):
+        assert main(["run", hello_file, "--password", "justauser"]) == 1
+        err = capsys.readouterr().err
+        assert "malformed --password spec" in err
+        assert "user=password" in err
+
+    def test_empty_password_user_rejected(self, hello_file, capsys):
+        assert main(["run", hello_file, "--password", "=pw"]) == 1
+        assert "malformed --password spec" in capsys.readouterr().err
+
+    def test_empty_password_value_allowed(self, hello_file):
+        # "user=" is a well-formed spec for an empty password.
+        assert main(["run", hello_file, "--password", "u="]) == 7
+
+
+class TestPrototypeInjectionHeuristic:
+    def test_phrase_in_comment_does_not_suppress_injection(self, tmp_path,
+                                                           capsys):
+        src = tmp_path / "commented.mc"
+        src.write_text(
+            """
+            // This app needs no extern trusted block of its own.
+            /* extern trusted declarations come from the driver. */
+            int main() {
+                print_str("still injected");
+                return 0;
+            }
+            """
+        )
+        assert main(["run", str(src)]) == 0
+        assert "still injected" in capsys.readouterr().out
+
+    def test_phrase_in_string_does_not_suppress_injection(self, tmp_path,
+                                                          capsys):
+        src = tmp_path / "stringy.mc"
+        src.write_text(
+            """
+            int main() {
+                print_str("extern trusted is just text here");
+                return 0;
+            }
+            """
+        )
+        assert main(["run", str(src)]) == 0
+        assert "just text" in capsys.readouterr().out
+
+    def test_real_declaration_suppresses_injection(self, tmp_path):
+        from repro.cli import _has_trusted_declarations
+
+        source = 'extern trusted void print_int(int x);\nint main() { return 0; }'
+        assert _has_trusted_declarations(source)
+        assert not _has_trusted_declarations("// extern trusted only here")
+        assert not _has_trusted_declarations('char *s = "extern trusted";')
+        # Identifier containing the words is not a declaration either.
+        assert not _has_trusted_declarations("int extern_trusted = 1;")
+
+
+class TestCliBuildAndCache:
+    def test_build_then_link_runs_like_compile(self, tmp_path, capsys):
+        lib = tmp_path / "lib.mc"
+        lib.write_text("int helper(int x) { return x * 3; }\n")
+        app = tmp_path / "app.mc"
+        app.write_text(
+            """
+            int helper(int x);
+            int main() {
+                print_int(helper(14));
+                return helper(2);
+            }
+            """
+        )
+        out = tmp_path / "prog.bin"
+        assert main([
+            "build", str(lib), str(app), "--link", str(out), "--seed", "4",
+        ]) == 0
+        assert "linked 2 object(s)" in capsys.readouterr().out
+
+        from repro.build import load_binary
+        from repro.link.loader import load as load_bin
+
+        binary = load_binary(out.read_bytes())
+        process = load_bin(binary)
+        assert process.run() == 6
+        assert "42" in "\n".join(process.stdout)
+
+    def test_build_objects_then_link_objects(self, tmp_path, capsys):
+        lib = tmp_path / "lib.mc"
+        lib.write_text("int helper(int x) { return x + 1; }\n")
+        app = tmp_path / "app.mc"
+        app.write_text(
+            "int helper(int x);\nint main() { return helper(4); }\n"
+        )
+        # Stage 1: compile each unit to a .uo object.
+        assert main([
+            "build", str(lib), str(app),
+            "--out-dir", str(tmp_path / "objs"), "--seed", "4",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "lib.uo" in out and "app.uo" in out and "key " in out
+        # Stage 2: link the prebuilt objects, no sources involved.
+        binary_path = tmp_path / "prog.bin"
+        assert main([
+            "build",
+            str(tmp_path / "objs" / "lib.uo"),
+            str(tmp_path / "objs" / "app.uo"),
+            "--link", str(binary_path), "--seed", "4",
+        ]) == 0
+
+        from repro.build import load_binary
+        from repro.link.loader import load as load_bin
+
+        assert load_bin(load_binary(binary_path.read_bytes())).run() == 5
+
+    def test_object_config_mismatch_rejected(self, tmp_path, capsys):
+        src = tmp_path / "one.mc"
+        src.write_text("int main() { return 1; }\n")
+        assert main(["build", str(src), "--config", "OurSeg",
+                     "--out-dir", str(tmp_path)]) == 0
+        capsys.readouterr()
+        assert main(["build", str(tmp_path / "one.uo"),
+                     "--config", "OurMPX",
+                     "--link", str(tmp_path / "x.bin")]) == 1
+        assert "built for config" in capsys.readouterr().err
+
+    def test_run_with_cache_dir_warm_identical(self, hello_file, tmp_path,
+                                               capsys):
+        cache_dir = str(tmp_path / "cache")
+        assert main(["run", hello_file, "--cache-dir", cache_dir]) == 7
+        cold = capsys.readouterr().out
+        assert main(["run", hello_file, "--cache-dir", cache_dir]) == 7
+        warm = capsys.readouterr().out
+        assert cold == warm
+
+        assert main(["cache", "stats", "--cache-dir", cache_dir]) == 0
+        out = capsys.readouterr().out
+        assert "entries" in out and "1" in out
+
+    def test_bench_json_cold_warm_jobs_identical(self, hello_file, tmp_path,
+                                                 capsys):
+        cache_dir = str(tmp_path / "cache")
+        assert main(["bench", hello_file, "--json", "--seed", "2",
+                     "--cache-dir", cache_dir]) == 0
+        cold = capsys.readouterr().out
+        assert main(["bench", hello_file, "--json", "--seed", "2",
+                     "--cache-dir", cache_dir, "--jobs", "4"]) == 0
+        warm = capsys.readouterr().out
+        assert cold == warm
+
+    def test_cache_list_and_clear(self, hello_file, tmp_path, capsys):
+        cache_dir = str(tmp_path / "cache")
+        main(["run", hello_file, "--cache-dir", cache_dir])
+        capsys.readouterr()
+        assert main(["cache", "list", "--cache-dir", cache_dir]) == 0
+        listing = capsys.readouterr().out.strip()
+        assert len(listing.splitlines()) == 1
+        assert main(["cache", "clear", "--cache-dir", cache_dir]) == 0
+        assert "removed 1 entries" in capsys.readouterr().out
+
+    def test_cache_without_dir_errors(self, capsys, monkeypatch):
+        monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+        assert main(["cache", "stats"]) == 1
+        assert "no cache directory" in capsys.readouterr().err

@@ -90,3 +90,13 @@ grep -q "build.cache.hit" "$WARM_METRICS"
 # close would surface as a broken-pipe error from the CLI)
 REPRO_CACHE_DIR="$CACHE" python -m repro cache stats | grep "entries" > /dev/null
 echo "cache OK: cold == warm == serial bench output, warm run hit the cache"
+
+# Fuzzing smoke: replay the frozen corpus (every checked-in mutant must
+# still be killed), then a strided live mutation pass — both must
+# report a 100.0% mutation-kill score and exit 0.
+FUZZ_OUT="$WORK/fuzz.txt"
+python -m repro fuzz --engine corpus --corpus tests/fuzz/corpus > "$FUZZ_OUT"
+grep "(100.0%)" "$FUZZ_OUT" > /dev/null
+python -m repro fuzz --engine mutation --seed 0 --n 1 --stride 16 > "$FUZZ_OUT"
+grep "(100.0%)" "$FUZZ_OUT" > /dev/null
+echo "fuzz OK: corpus replay + strided mutation pass at 100% kill"

@@ -4,6 +4,7 @@ from .vulns import (
     ALL_ATTACKS,
     MINIZIP_DIRECT_SRC,
     AttackOutcome,
+    run_all_attacks,
     run_format_string_attack,
     run_minizip_attack,
     run_mongoose_attack,
@@ -13,6 +14,7 @@ from .vulns import (
 __all__ = [
     "ALL_ATTACKS",
     "AttackOutcome",
+    "run_all_attacks",
     "run_mongoose_attack",
     "run_minizip_attack",
     "run_format_string_attack",

@@ -40,12 +40,38 @@ PASSWORD = b"hunter2!"
 
 @dataclass
 class AttackOutcome:
-    """What happened when the exploit ran."""
+    """What happened when the exploit ran — machine-readable.
+
+    ``attack``/``config`` name the experiment cell, so a list of
+    outcomes (see :func:`run_all_attacks`) serializes straight into the
+    paper's Section 7.6 table without re-deriving context from the
+    call site.
+    """
 
     leaked: bool
     faulted: bool
     fault_kind: str | None
     output: bytes
+    attack: str = ""
+    config: str = ""
+
+    @property
+    def stopped(self) -> bool:
+        """The defense held: no private bytes reached the attacker."""
+        return not self.leaked
+
+    def to_dict(self) -> dict:
+        """JSON-safe record (output hex-encoded and truncated)."""
+        return {
+            "attack": self.attack,
+            "config": self.config,
+            "leaked": self.leaked,
+            "stopped": self.stopped,
+            "faulted": self.faulted,
+            "fault_kind": self.fault_kind,
+            "output_hex": self.output[:64].hex(),
+            "output_len": len(self.output),
+        }
 
 
 # ---------------------------------------------------------------------------
@@ -130,6 +156,8 @@ def run_mongoose_attack(config: BuildConfig, overread: int = 400) -> AttackOutco
         faulted=faulted,
         fault_kind=kind,
         output=leaked_bytes,
+        attack="mongoose-stale-stack",
+        config=config.name,
     )
 
 
@@ -186,7 +214,12 @@ def run_minizip_attack(config: BuildConfig) -> AttackOutcome:
         kind = fault.kind
     log = bytes(runtime.log)
     return AttackOutcome(
-        leaked=PASSWORD[:8] in log, faulted=faulted, fault_kind=kind, output=log
+        leaked=PASSWORD[:8] in log,
+        faulted=faulted,
+        fault_kind=kind,
+        output=log,
+        attack="minizip-cast-leak",
+        config=config.name,
     )
 
 
@@ -238,7 +271,12 @@ def run_format_string_attack(config: BuildConfig) -> AttackOutcome:
     }
     leaked = any(w in dumped for w in secret_words)
     return AttackOutcome(
-        leaked=leaked, faulted=faulted, fault_kind=kind, output=dumped
+        leaked=leaked,
+        faulted=faulted,
+        fault_kind=kind,
+        output=dumped,
+        attack="format-string",
+        config=config.name,
     )
 
 
@@ -320,6 +358,8 @@ def run_rop_attack(config: BuildConfig) -> AttackOutcome:
             faulted=faulted,
             fault_kind=kind,
             output=rt.channel(1).drain_out(),
+            attack="rop-return-hijack",
+            config=config.name,
         )
         if hijacked:
             return outcome
@@ -334,3 +374,21 @@ ALL_ATTACKS = {
     "format-string": run_format_string_attack,
     "rop-return-hijack": run_rop_attack,
 }
+
+
+def run_all_attacks(configs) -> list[AttackOutcome]:
+    """Run every Section 7.6 attack against every given config.
+
+    Returns one :class:`AttackOutcome` per (attack, config) cell, in a
+    stable order, each carrying its own ``attack``/``config`` labels —
+    ``[o.to_dict() for o in run_all_attacks(...)]`` is the paper table.
+    """
+    outcomes = []
+    for name, runner in ALL_ATTACKS.items():
+        for config in configs:
+            outcome = runner(config)
+            # Belt and braces: the runners stamp these themselves, but
+            # a forgotten label would silently corrupt the table.
+            assert outcome.attack == name and outcome.config == config.name
+            outcomes.append(outcome)
+    return outcomes

@@ -470,6 +470,38 @@ def cmd_cache(args) -> int:
     return 0
 
 
+def cmd_fuzz(args) -> int:
+    """Drive the fuzzing harness; exit 1 when any finding survives."""
+    from .fuzz import run_fuzz
+
+    registry = _activate_obs(args)
+    try:
+        reports = run_fuzz(
+            engine=args.engine,
+            seed=args.seed,
+            n=args.n,
+            size=args.size,
+            budget=args.budget,
+            corpus_dir=args.corpus,
+            minimize=not args.no_minimize,
+            stride=args.stride,
+        )
+    finally:
+        _finish_obs(args, registry)
+    findings = 0
+    for report in reports:
+        print(report.summary())
+        for finding in report.findings:
+            findings += 1
+            print(finding.render(), file=sys.stderr)
+    if findings:
+        print(f"FUZZ: {findings} finding(s) — see repros above",
+              file=sys.stderr)
+        return 1
+    print("FUZZ: all checks passed")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="ConfLLVM-reproduction toolchain driver"
@@ -557,6 +589,40 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--cache-dir", default=None, metavar="DIR",
                    help="cache directory (default: $REPRO_CACHE_DIR)")
     p.set_defaults(handler=cmd_cache)
+
+    p = sub.add_parser(
+        "fuzz",
+        help="adversarial fuzzing + mutation-kill harness "
+             "(fully reproducible from --seed)",
+    )
+    p.add_argument("--engine", default="all",
+                   choices=("program", "mutation", "corpus", "all"),
+                   help="program: differential fuzzing of generated "
+                        "MiniC; mutation: mutation-kill run against "
+                        "ConfVerify; corpus: replay frozen regression "
+                        "cases; all: program + mutation (+ corpus when "
+                        "--corpus is given)")
+    p.add_argument("--seed", type=int, default=0,
+                   help="base seed; case i uses seed+i (default 0)")
+    p.add_argument("--n", type=int, default=20, metavar="N",
+                   help="number of generated programs per engine")
+    p.add_argument("--size", type=int, default=12, metavar="STMTS",
+                   help="statement budget per generated program")
+    p.add_argument("--budget", type=float, default=None, metavar="SECS",
+                   help="wall-clock cap; a truncated run checks a "
+                        "prefix of the same case sequence")
+    p.add_argument("--corpus", default=None, metavar="DIR",
+                   help="corpus directory for the corpus engine")
+    p.add_argument("--stride", type=int, default=1, metavar="K",
+                   help="mutation engine: keep every K-th mutation "
+                        "site (deterministic subsample for quick runs)")
+    p.add_argument("--no-minimize", action="store_true",
+                   help="report raw (unminimized) failing programs")
+    p.add_argument("--trace", metavar="PATH", default=None,
+                   help="write a Chrome-trace/Perfetto JSON file")
+    p.add_argument("--metrics", action="store_true",
+                   help="dump all recorded metrics to stderr")
+    p.set_defaults(handler=cmd_fuzz)
     return parser
 
 

@@ -164,8 +164,13 @@ class _FuncBuilder:
         self.emit(RetCmd())
 
 
-def generate_program(seed: int) -> Program:
-    """A random well-typed two-function program."""
+def generate_program(seed: int, size: int | None = None) -> Program:
+    """A random well-typed two-function program.
+
+    ``size`` fixes the number of top-level items in ``main`` (the fuzz
+    seed-matrix sweeps it); left as None the item count is drawn from
+    the seed as before, so existing seeds keep their programs.
+    """
     rng = random.Random(seed)
     callee_bits = tuple(rng.choice((L, H)) for _ in range(4))
     callee_ret = rng.choice((L, H))
@@ -176,7 +181,7 @@ def generate_program(seed: int) -> Program:
     callee.finish_with_ret()
 
     main = _FuncBuilder("main", 0, rng, (L, L, L, L), L)
-    n_items = rng.randrange(2, 6)
+    n_items = rng.randrange(2, 6) if size is None else size
     for _ in range(n_items):
         choice = rng.randrange(4)
         if choice == 0:

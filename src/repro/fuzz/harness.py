@@ -1,0 +1,410 @@
+"""The seeded fuzzing harness: program differentials and mutation kills.
+
+Two engines share this module:
+
+* :func:`fuzz_programs` generates well-typed MiniC programs and checks
+  every cross-cutting equivalence the toolchain promises — Base, OurMPX
+  and OurSeg builds observe identically; the predecoded and reference
+  machine engines agree cycle-for-cycle; cold and warm object-cache
+  builds are byte-identical; ConfVerify accepts every instrumented
+  build.
+* :func:`fuzz_mutants` compiles each generated program under both
+  instrumented schemes, applies every security-relevant mutation
+  (:mod:`repro.fuzz.mutate`) and asserts ConfVerify kills 100% of the
+  mutants.  A surviving mutant is a verifier soundness bug; the harness
+  shrinks its program with :func:`repro.fuzz.minimize.ddmin_lines` and
+  reports the minimized repro.
+
+Everything is reproducible from ``(seed, n, size)`` alone: program i
+uses generator seed ``seed + i``, builds are deterministic, and the
+trusted runtime is seeded.  ``budget`` (wall-clock seconds) can stop a
+run early; a truncated run checks a prefix of the same case sequence.
+
+Findings carry body-only MiniC source (without the T prototypes); every
+compile path here re-prepends :data:`repro.runtime.trusted.T_PROTOTYPES`.
+"""
+
+from __future__ import annotations
+
+import tempfile
+import time
+from dataclasses import dataclass, field
+
+from ..build.cache import ObjectCache
+from ..build.serialize import dump_binary
+from ..build.session import BuildSession
+from ..compiler import compile_source
+from ..config import BASE, OUR_MPX, OUR_SEG
+from ..errors import MachineFault, ReproError, VerifyError
+from ..link.loader import load as load_binary
+from ..obs import events
+from ..runtime.trusted import T_PROTOTYPES, TrustedRuntime
+from ..verifier.verify import verify_binary
+from .gen import DEFAULT_SIZE, generate_source
+from .minimize import ddmin_lines
+from .mutate import apply_site, enumerate_sites
+
+DIFF_CONFIGS = (BASE, OUR_MPX, OUR_SEG)
+VERIFIED_CONFIGS = (OUR_MPX, OUR_SEG)
+ENGINES = ("predecoded", "reference")
+
+# The keys of an execution observation that must agree across *build
+# configurations* (instrumentation may change cycle counts, never
+# behaviour) — and, plus the performance keys, across machine engines.
+_OBSERVABLE = ("exit", "fault", "stdout", "out")
+_PERF = ("cycles", "instructions", "bnd_checks", "cfi_checks")
+
+
+@dataclass
+class Finding:
+    """One reproducible failure the harness uncovered."""
+
+    engine: str  # "program" | "mutation" | "corpus"
+    kind: str  # e.g. "config-divergence", "mutant-survived"
+    detail: str
+    seed: int | None = None
+    config: str | None = None
+    source: str | None = None  # minimized body-only MiniC repro
+    operator: str | None = None
+    site: int | None = None
+    expected: tuple[str, ...] = ()
+
+    def render(self) -> str:
+        head = f"[{self.engine}] {self.kind}: {self.detail}"
+        if self.seed is not None:
+            head += f" (seed {self.seed})"
+        if self.source:
+            head += "\n--- minimized repro ---\n" + self.source.rstrip()
+        return head
+
+
+@dataclass
+class FuzzReport:
+    """The outcome of one harness run (one engine)."""
+
+    engine: str
+    seed: int
+    iterations: int = 0
+    mutants_total: int = 0
+    mutants_killed: int = 0
+    kills_misattributed: int = 0
+    findings: list[Finding] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+    @property
+    def kill_score(self) -> float:
+        if self.mutants_total == 0:
+            return 1.0
+        return self.mutants_killed / self.mutants_total
+
+    def summary(self) -> str:
+        lines = [
+            f"fuzz.{self.engine}: seed={self.seed} "
+            f"iterations={self.iterations} findings={len(self.findings)}"
+        ]
+        if self.engine in ("mutation", "corpus") and self.mutants_total:
+            lines.append(
+                f"  mutation-kill: {self.mutants_killed}/"
+                f"{self.mutants_total} ({self.kill_score:.1%}), "
+                f"{self.kills_misattributed} kills misattributed"
+            )
+        return "\n".join(lines)
+
+
+def _strip_prototypes(source: str) -> str:
+    if source.startswith(T_PROTOTYPES):
+        return source[len(T_PROTOTYPES):]
+    return source
+
+
+def _observe(binary, engine: str = "predecoded") -> dict:
+    """Run a binary to completion and capture everything comparable."""
+    runtime = TrustedRuntime()
+    process = load_binary(binary, runtime=runtime, engine=engine)
+    fault = None
+    exit_code = None
+    try:
+        exit_code = process.run()
+    except MachineFault as f:
+        fault = f.kind
+    return {
+        "exit": exit_code,
+        "fault": fault,
+        "stdout": tuple(process.stdout),
+        "out": runtime.channel(1).drain_out().hex(),
+        "cycles": process.wall_cycles,
+        "instructions": process.stats.instructions,
+        "bnd_checks": process.stats.bnd_checks,
+        "cfi_checks": process.stats.cfi_checks,
+    }
+
+
+def _project(obs: dict, keys: tuple[str, ...]) -> dict:
+    return {k: obs[k] for k in keys}
+
+
+def check_program(body: str) -> list[tuple[str, str]]:
+    """All differential checks for one program; [(kind, detail)].
+
+    Raises on malformed input (the caller decides whether a compile
+    error is a finding or a rejected minimization candidate).
+    """
+    source = T_PROTOTYPES + body
+    problems: list[tuple[str, str]] = []
+    binaries = {}
+    for config in DIFF_CONFIGS:
+        binaries[config.name] = compile_source(source, config)
+    for config in VERIFIED_CONFIGS:
+        try:
+            verify_binary(binaries[config.name])
+        except VerifyError as err:
+            problems.append(
+                (
+                    "verify-reject",
+                    f"{config.name}: ConfVerify rejected the instrumented "
+                    f"build: {err.reason}",
+                )
+            )
+    base_obs = _observe(binaries[BASE.name])
+    for config in VERIFIED_CONFIGS:
+        obs = _observe(binaries[config.name])
+        if _project(obs, _OBSERVABLE) != _project(base_obs, _OBSERVABLE):
+            problems.append(
+                (
+                    "config-divergence",
+                    f"{config.name} observes differently from Base: "
+                    f"{_project(obs, _OBSERVABLE)} vs "
+                    f"{_project(base_obs, _OBSERVABLE)}",
+                )
+            )
+    for config in DIFF_CONFIGS:
+        pre = _observe(binaries[config.name], engine="predecoded")
+        ref = _observe(binaries[config.name], engine="reference")
+        if pre != ref:
+            keys = _OBSERVABLE + _PERF
+            problems.append(
+                (
+                    "engine-divergence",
+                    f"{config.name}: predecoded vs reference disagree: "
+                    f"{_project(pre, keys)} vs {_project(ref, keys)}",
+                )
+            )
+    for config in VERIFIED_CONFIGS:
+        with tempfile.TemporaryDirectory(prefix="repro-fuzz-cache-") as tmp:
+            cold = BuildSession(cache=ObjectCache(tmp)).build(source, config)
+            warm = BuildSession(cache=ObjectCache(tmp)).build(source, config)
+        plain = binaries[config.name]
+        if not (
+            dump_binary(cold) == dump_binary(warm) == dump_binary(plain)
+        ):
+            problems.append(
+                (
+                    "cache-divergence",
+                    f"{config.name}: cold/warm/uncached builds are not "
+                    "byte-identical",
+                )
+            )
+    return problems
+
+
+def _kinds_of(body: str) -> set[str]:
+    """check_program kinds, with errors mapped to a synthetic kind so
+    minimization predicates treat broken candidates as 'not failing'."""
+    try:
+        return {kind for kind, _ in check_program(body)}
+    except Exception:
+        return set()
+
+
+def _minimize_program(body: str, kind: str) -> str:
+    return ddmin_lines(body, lambda cand: kind in _kinds_of(cand))
+
+
+def fuzz_programs(
+    seed: int,
+    n: int,
+    size: int = DEFAULT_SIZE,
+    minimize: bool = True,
+    deadline: float | None = None,
+) -> FuzzReport:
+    """Differential-fuzz ``n`` generated programs; see the module doc."""
+    report = FuzzReport(engine="program", seed=seed)
+    for i in range(n):
+        if deadline is not None and time.monotonic() > deadline:
+            break
+        case_seed = seed + i
+        body = _strip_prototypes(generate_source(case_seed, size))
+        events.counter("fuzz.programs").inc()
+        report.iterations += 1
+        for kind, detail in check_program(body):
+            events.counter("fuzz.findings", kind=kind).inc()
+            repro = _minimize_program(body, kind) if minimize else body
+            report.findings.append(
+                Finding(
+                    engine="program",
+                    kind=kind,
+                    detail=detail,
+                    seed=case_seed,
+                    source=repro,
+                )
+            )
+    return report
+
+
+def _operator_survives(body: str, config, operator: str) -> bool:
+    """Does some mutant of this operator survive verification on this
+    program?  The minimization predicate for surviving mutants."""
+    try:
+        binary = compile_source(T_PROTOTYPES + body, config)
+        verify_binary(binary)
+    except Exception:
+        return False
+    for site in enumerate_sites(binary):
+        if site.operator != operator:
+            continue
+        mutant = apply_site(binary, site)
+        try:
+            verify_binary(mutant.binary)
+            return True
+        except VerifyError:
+            continue
+    return False
+
+
+def fuzz_mutants(
+    seed: int,
+    n: int,
+    size: int = DEFAULT_SIZE,
+    minimize: bool = True,
+    deadline: float | None = None,
+    stride: int = 1,
+) -> FuzzReport:
+    """Mutation-kill run over ``n`` generated programs × both verified
+    configs × every mutation site; see the module doc.
+
+    ``stride`` > 1 keeps every stride-th mutation site — a
+    deterministic subsample for time-boxed runs (the kill assertion
+    still covers every operator, since sites are grouped by operator
+    and each common operator has many sites per binary).
+    """
+    report = FuzzReport(engine="mutation", seed=seed)
+    for i in range(n):
+        if deadline is not None and time.monotonic() > deadline:
+            break
+        case_seed = seed + i
+        body = _strip_prototypes(generate_source(case_seed, size))
+        report.iterations += 1
+        for config in VERIFIED_CONFIGS:
+            binary = compile_source(T_PROTOTYPES + body, config)
+            try:
+                verify_binary(binary)
+            except VerifyError as err:
+                # Not a mutation finding per se, but fatal: the
+                # unmutated build must verify for kills to mean much.
+                report.findings.append(
+                    Finding(
+                        engine="mutation",
+                        kind="verify-reject",
+                        detail=f"{config.name}: unmutated build rejected: "
+                        f"{err.reason}",
+                        seed=case_seed,
+                        config=config.name,
+                        source=body,
+                    )
+                )
+                continue
+            for site in enumerate_sites(binary)[::stride]:
+                if deadline is not None and time.monotonic() > deadline:
+                    break
+                report.mutants_total += 1
+                events.counter(
+                    "fuzz.mutants", operator=site.operator
+                ).inc()
+                mutant = apply_site(binary, site)
+                try:
+                    verify_binary(mutant.binary)
+                except VerifyError as err:
+                    report.mutants_killed += 1
+                    if err.reason in site.expected:
+                        events.counter(
+                            "fuzz.kills", outcome="expected"
+                        ).inc()
+                    else:
+                        report.kills_misattributed += 1
+                        events.counter(
+                            "fuzz.kills", outcome="misattributed"
+                        ).inc()
+                    continue
+                events.counter("fuzz.kills", outcome="survived").inc()
+                repro = (
+                    ddmin_lines(
+                        body,
+                        lambda cand: _operator_survives(
+                            cand, config, site.operator
+                        ),
+                    )
+                    if minimize
+                    else body
+                )
+                report.findings.append(
+                    Finding(
+                        engine="mutation",
+                        kind="mutant-survived",
+                        detail=(
+                            f"{config.name}: {site.operator} @{site.index} "
+                            f"survived ConfVerify ({site.description})"
+                        ),
+                        seed=case_seed,
+                        config=config.name,
+                        source=repro,
+                        operator=site.operator,
+                        site=site.index,
+                        expected=site.expected,
+                    )
+                )
+    return report
+
+
+def run_fuzz(
+    engine: str = "all",
+    seed: int = 0,
+    n: int = 20,
+    size: int = DEFAULT_SIZE,
+    budget: float | None = None,
+    corpus_dir: str | None = None,
+    minimize: bool = True,
+    stride: int = 1,
+) -> list[FuzzReport]:
+    """Dispatch one or more fuzzing engines and collect their reports.
+
+    ``engine`` is "program", "mutation", "corpus", or "all" (program +
+    mutation, plus corpus when ``corpus_dir`` is given).  ``budget``
+    caps the wall-clock seconds spent across the run.
+    """
+    deadline = time.monotonic() + budget if budget else None
+    reports: list[FuzzReport] = []
+    if engine not in ("program", "mutation", "corpus", "all"):
+        raise ReproError(f"unknown fuzz engine {engine!r}")
+    if engine in ("program", "all"):
+        reports.append(
+            fuzz_programs(
+                seed, n, size=size, minimize=minimize, deadline=deadline
+            )
+        )
+    if engine in ("mutation", "all"):
+        reports.append(
+            fuzz_mutants(
+                seed, n, size=size, minimize=minimize,
+                deadline=deadline, stride=stride,
+            )
+        )
+    if engine == "corpus" or (engine == "all" and corpus_dir):
+        from .corpus import replay_corpus
+
+        if corpus_dir is None:
+            raise ReproError("the corpus engine needs --corpus DIR")
+        reports.append(replay_corpus(corpus_dir))
+    return reports

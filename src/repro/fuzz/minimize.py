@@ -1,0 +1,68 @@
+"""Line-based delta-debugging minimizer for failing MiniC programs.
+
+Shrinks a generated program that triggers a finding (a differential
+divergence, a verifier rejection, a surviving mutant) into the smallest
+line subset that still triggers it, so the checked-in repro reads like
+a hand-written regression test instead of a 100-line random program.
+
+The algorithm is classic ddmin over source lines: try removing
+complements of ever-finer chunks, keeping any candidate for which the
+caller's predicate still reports the failure.  The predicate owns all
+domain knowledge — it must return False (not raise) for candidates that
+no longer compile, so the minimizer itself stays oblivious to MiniC.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+
+def _chunks(items: list[str], n: int) -> list[list[str]]:
+    size, rem = divmod(len(items), n)
+    out = []
+    start = 0
+    for i in range(n):
+        end = start + size + (1 if i < rem else 0)
+        out.append(items[start:end])
+        start = end
+    return [c for c in out if c]
+
+
+def ddmin_lines(
+    text: str,
+    failing: Callable[[str], bool],
+    max_probes: int = 2000,
+) -> str:
+    """Minimize ``text`` (joined with newlines) while ``failing`` holds.
+
+    ``failing`` receives a candidate text and must return True iff the
+    original failure still reproduces (and False on any error).  The
+    returned text always satisfies ``failing``; if the input itself
+    does not, it is returned unchanged.
+    """
+    lines = text.splitlines()
+    if not failing(text):
+        return text
+    probes = 0
+    n = 2
+    while len(lines) >= 2 and probes < max_probes:
+        chunks = _chunks(lines, n)
+        reduced = False
+        for i in range(len(chunks)):
+            candidate = [
+                line for j, chunk in enumerate(chunks) if j != i
+                for line in chunk
+            ]
+            probes += 1
+            if candidate and failing("\n".join(candidate) + "\n"):
+                lines = candidate
+                n = max(n - 1, 2)
+                reduced = True
+                break
+            if probes >= max_probes:
+                break
+        if not reduced:
+            if n >= len(lines):
+                break
+            n = min(len(lines), n * 2)
+    return "\n".join(lines) + "\n"

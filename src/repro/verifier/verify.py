@@ -23,7 +23,13 @@ sufficient for confidentiality.  It performs, per the paper:
    operand must be fs/gs-prefixed and 32-bit.
 
 It also re-checks the magic-uniqueness property: no non-magic word's
-encoding carries either 59-bit prefix.
+encoding carries either 59-bit prefix — and, because code is readable
+as data, that every magic *word* is itself legitimate: a call-kind word
+must carry the MCall prefix, a ret-kind word must carry the MRet
+prefix, and ret-kind words outside the linker's start/thunk preamble
+may appear only at return sites (immediately after a call).  Without
+the placement rule an attacker-controlled compiler could plant a spare
+MRet word mid-procedure and divert a corrupted return address to it.
 """
 
 from __future__ import annotations
@@ -106,6 +112,45 @@ class BinaryVerifier:
                     "magic-not-unique",
                     f"non-magic word encodes a magic prefix: {word!r}",
                 )
+        self._check_magic_placement()
+
+    def _check_magic_placement(self) -> None:
+        """Every magic word must be legitimate *as a word*.
+
+        A call-kind word must carry the MCall prefix and a ret-kind
+        word the MRet prefix (a ret-kind word carrying the MCall prefix
+        would be a forged indirect-call target that the uniqueness scan
+        above deliberately skips).  Ret-kind words outside the linker
+        preamble (the start/thread-exit/T-return thunks that precede
+        the first procedure) may only appear at return sites, i.e.
+        immediately after a call — a spare MRet word anywhere else
+        would let a corrupted return address land mid-procedure.
+        """
+        preamble_end = len(self.code)
+        for addr, word in enumerate(self.code):
+            if isinstance(word, isa.MagicWord) and word.kind == "call":
+                preamble_end = addr
+                break
+        for addr, word in enumerate(self.code):
+            if not isinstance(word, isa.MagicWord):
+                continue
+            expected_prefix = (
+                self.binary.mcall_prefix
+                if word.kind == "call"
+                else self.binary.mret_prefix
+            )
+            if (word.value >> 5) != expected_prefix:
+                raise VerifyError(
+                    "bad-magic-word",
+                    f"{word.kind} magic with wrong prefix @{addr}",
+                )
+            if word.kind == "ret" and addr >= preamble_end:
+                prev = self.code[addr - 1] if addr > 0 else None
+                if not isinstance(prev, (isa.CallD, isa.CallI)):
+                    raise VerifyError(
+                        "stray-ret-magic",
+                        f"ret magic @{addr} is not at a return site",
+                    )
 
     def _find_procedures(self) -> list[_Proc]:
         entries: list[tuple[int, int]] = []  # (magic addr, bits)

@@ -4,11 +4,15 @@ The paper's claim: all three hand-crafted exploits succeed against the
 vanilla build and are stopped by ConfLLVM.
 """
 
+import json
+
 import pytest
 
 from repro import BASE, OUR_MPX, OUR_SEG, TaintError, compile_source
 from repro.attacks import (
+    ALL_ATTACKS,
     MINIZIP_DIRECT_SRC,
+    run_all_attacks,
     run_format_string_attack,
     run_minizip_attack,
     run_mongoose_attack,
@@ -86,3 +90,41 @@ class TestRopReturnHijack:
         assert not outcome.leaked
         assert outcome.faulted
         assert outcome.fault_kind == "cfi-check-failed"
+
+
+class TestAttackMatrix:
+    """The full Section 7.6 matrix: every attack × every full config,
+    through the machine-readable AttackOutcome interface."""
+
+    @pytest.mark.parametrize("attack", sorted(ALL_ATTACKS),
+                             ids=lambda a: a)
+    @pytest.mark.parametrize("config", PROTECTED, ids=lambda c: c.name)
+    def test_every_attack_stopped_under_full_config(self, attack, config):
+        outcome = ALL_ATTACKS[attack](config)
+        assert outcome.stopped, (
+            f"{attack} leaked under {config.name}: {outcome.to_dict()}"
+        )
+        assert outcome.attack == attack
+        assert outcome.config == config.name
+
+    @pytest.mark.parametrize("attack", sorted(ALL_ATTACKS),
+                             ids=lambda a: a)
+    def test_every_attack_succeeds_against_base(self, attack):
+        outcome = ALL_ATTACKS[attack](BASE)
+        assert outcome.leaked, (
+            f"{attack} no longer demonstrates the vulnerability on "
+            f"Base: {outcome.to_dict()}"
+        )
+
+    def test_run_all_attacks_table_is_machine_readable(self):
+        outcomes = run_all_attacks(PROTECTED)
+        assert len(outcomes) == len(ALL_ATTACKS) * len(PROTECTED)
+        table = [o.to_dict() for o in outcomes]
+        # The table must survive JSON serialization untouched.
+        assert json.loads(json.dumps(table)) == table
+        for row in table:
+            assert row["stopped"] and not row["leaked"]
+            assert row["attack"] in ALL_ATTACKS
+            assert row["config"] in ("OurMPX", "OurSeg")
+            assert isinstance(row["output_hex"], str)
+            int(row["output_hex"] or "0", 16)  # valid hex

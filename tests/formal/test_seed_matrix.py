@@ -1,0 +1,78 @@
+"""Seed-matrix noninterference sweep for the formal model.
+
+The hypothesis-driven tests in test_formal.py explore random seeds;
+this module pins a documented matrix of seeds × program sizes so a
+lockstep divergence is immediately reproducible: every assertion
+message carries the generating ``(seed, size, pair_seed)`` triple, and
+``generate_program(seed, size)`` rebuilds the exact program.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.formal import (
+    check_program,
+    generate_program,
+    initial_pair,
+    low_equiv,
+    run_lockstep,
+)
+
+# The documented matrix: every (seed, size) pair is deterministic and
+# stable — changing the formal generator invalidates these on purpose.
+SEEDS = (0, 1, 2, 7, 13, 42, 101, 999, 4096, 31337)
+SIZES = (1, 3, 6, 10)
+PAIR_SEEDS = (0, 5)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize("size", SIZES)
+def test_matrix_programs_are_well_typed(seed, size):
+    program = generate_program(seed, size=size)
+    try:
+        check_program(program)
+    except Exception as err:  # pragma: no cover - failure reporting
+        pytest.fail(
+            f"generate_program(seed={seed}, size={size}) is ill-typed: "
+            f"{err}"
+        )
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize("size", SIZES)
+@pytest.mark.parametrize("pair_seed", PAIR_SEEDS)
+def test_matrix_noninterference_lockstep(seed, size, pair_seed):
+    program = generate_program(seed, size=size)
+    check_program(program)
+    c1, c2 = initial_pair(program, pair_seed)
+    repro = (
+        f"repro: generate_program(seed={seed}, size={size}), "
+        f"initial_pair(program, {pair_seed})"
+    )
+    assert low_equiv(c1, c2, program), (
+        f"initial configurations are not low-equivalent — {repro}"
+    )
+    result, steps = run_lockstep(c1, c2, program, {}, max_steps=600)
+    assert result in ("ok", "bottom", "done"), (
+        f"lockstep divergence after {steps} steps: {result!r} — {repro}"
+    )
+
+
+def test_size_parameter_controls_item_count():
+    small = generate_program(3, size=1)
+    large = generate_program(3, size=10)
+    assert len(large.functions["main"].nodes) > len(
+        small.functions["main"].nodes
+    )
+
+
+def test_size_none_preserves_legacy_seeds():
+    # The default path must keep drawing the item count from the seed,
+    # so seeds referenced in older test logs rebuild identical programs.
+    a = generate_program(11)
+    b = generate_program(11)
+    assert len(a.functions["main"].nodes) == len(b.functions["main"].nodes)
+    assert repr(sorted(a.functions["main"].nodes)) == repr(
+        sorted(b.functions["main"].nodes)
+    )

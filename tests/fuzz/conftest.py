@@ -1,0 +1,22 @@
+"""Keep the long-haul fuzzing runs out of tier-1.
+
+Tests marked ``@pytest.mark.fuzz`` only run when the marker is selected
+explicitly (``pytest -m fuzz``); a plain tier-1 run skips them.  The
+short deterministic fuzz pass (everything unmarked in this directory)
+always runs.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def pytest_collection_modifyitems(config, items):
+    if "fuzz" in (config.option.markexpr or ""):
+        return
+    skip = pytest.mark.skip(
+        reason="long-haul fuzzing run; select with -m fuzz"
+    )
+    for item in items:
+        if item.get_closest_marker("fuzz") is not None:
+            item.add_marker(skip)

@@ -1,0 +1,68 @@
+"""The `repro fuzz` subcommand, driven in-process through cli.main."""
+
+from __future__ import annotations
+
+import os
+import shutil
+
+import pytest
+
+from repro.cli import main
+
+CORPUS_DIR = os.path.join(os.path.dirname(__file__), "corpus")
+
+
+def test_program_engine_exits_zero(capsys):
+    rc = main(["fuzz", "--engine", "program", "--seed", "9", "--n", "2"])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "fuzz.program: seed=9 iterations=2" in out
+    assert "FUZZ: all checks passed" in out
+
+
+def test_mutation_engine_reports_kill_score(capsys):
+    rc = main(
+        ["fuzz", "--engine", "mutation", "--seed", "1", "--n", "1",
+         "--size", "6", "--stride", "64"]
+    )
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "mutation-kill:" in out
+    assert "(100.0%)" in out
+
+
+def test_corpus_engine_replays_subset(tmp_path, capsys):
+    mini = tmp_path / "corpus"
+    mini.mkdir()
+    names = sorted(os.listdir(CORPUS_DIR))[:4]
+    for name in names:
+        shutil.copy(os.path.join(CORPUS_DIR, name), mini / name)
+    rc = main(["fuzz", "--engine", "corpus", "--corpus", str(mini)])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "fuzz.corpus" in out
+
+
+def test_corpus_engine_without_directory_fails(capsys):
+    rc = main(["fuzz", "--engine", "corpus"])
+    err = capsys.readouterr().err
+    assert rc == 1
+    assert "corpus" in err
+
+
+def test_seed_reproducibility_across_invocations(capsys):
+    main(["fuzz", "--engine", "program", "--seed", "17", "--n", "2"])
+    first = capsys.readouterr().out
+    main(["fuzz", "--engine", "program", "--seed", "17", "--n", "2"])
+    second = capsys.readouterr().out
+    assert first == second
+
+
+def test_metrics_flag_dumps_counters(capsys):
+    rc = main(
+        ["fuzz", "--engine", "program", "--seed", "2", "--n", "1",
+         "--metrics"]
+    )
+    captured = capsys.readouterr()
+    assert rc == 0
+    assert "fuzz.programs" in captured.err

@@ -1,0 +1,114 @@
+"""The frozen corpus: roundtrip, replay, staleness, and the real thing."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.errors import ReproError
+from repro.fuzz.corpus import (
+    CorpusCase,
+    load_corpus,
+    replay_case,
+    replay_corpus,
+    save_case,
+)
+
+CORPUS_DIR = os.path.join(
+    os.path.dirname(__file__), "corpus"
+)
+
+SIMPLE_BODY = """
+int main() {
+    print_int(41 + 1);
+    return 0;
+}
+"""
+
+
+def test_save_load_roundtrip(tmp_path):
+    case = CorpusCase(
+        name="roundtrip",
+        engine="mutation",
+        source=SIMPLE_BODY,
+        config="OurMPX",
+        operator="forge-ret-magic",
+        site=0,
+        expected=("bad-magic-word",),
+        note="roundtrip test",
+    )
+    save_case(case, str(tmp_path))
+    (loaded,) = load_corpus(str(tmp_path))
+    assert loaded == case
+    assert isinstance(loaded.expected, tuple)
+
+
+def test_load_corpus_missing_directory():
+    with pytest.raises(ReproError):
+        load_corpus("/nonexistent/corpus/dir")
+
+
+def test_replay_program_case_passes():
+    case = CorpusCase(
+        name="prog", engine="program", source=SIMPLE_BODY
+    )
+    assert replay_case(case) == []
+
+
+def test_replay_unknown_engine_rejected():
+    case = CorpusCase(name="bad", engine="quantum", source=SIMPLE_BODY)
+    with pytest.raises(ReproError):
+        replay_case(case)
+
+
+def test_replay_unknown_config_rejected():
+    case = CorpusCase(
+        name="bad-config",
+        engine="mutation",
+        source=SIMPLE_BODY,
+        config="NoSuchConfig",
+        operator="forge-ret-magic",
+        site=0,
+    )
+    with pytest.raises(ReproError):
+        replay_case(case)
+
+
+def test_vanished_site_reports_stale():
+    case = CorpusCase(
+        name="stale",
+        engine="mutation",
+        source=SIMPLE_BODY,
+        config="OurMPX",
+        operator="drop-bound-check",
+        site=10_000,  # no such site in this tiny program
+        expected=("missing-bounds-check",),
+    )
+    findings = replay_case(case)
+    assert [f.kind for f in findings] == ["corpus-stale"]
+
+
+def test_checked_in_corpus_covers_every_operator():
+    from repro.fuzz.mutate import operator_names
+
+    cases = load_corpus(CORPUS_DIR)
+    frozen_ops = {c.operator for c in cases if c.engine == "mutation"}
+    assert frozen_ops == set(operator_names())
+    configs = {c.config for c in cases if c.engine == "mutation"}
+    assert configs == {"OurMPX", "OurSeg"}
+    assert any(c.engine == "program" for c in cases)
+
+
+def test_checked_in_corpus_replays_at_full_kill():
+    """The tier-1 regression net: every frozen mutant must still be
+    killed (100% mutation-kill, no misattribution), and every frozen
+    program must still pass all differential oracles."""
+    report = replay_corpus(CORPUS_DIR)
+    assert report.findings == [], "\n".join(
+        f.render() for f in report.findings
+    )
+    assert report.mutants_total > 0
+    assert report.mutants_killed == report.mutants_total
+    assert report.kill_score == 1.0
+    assert report.kills_misattributed == 0

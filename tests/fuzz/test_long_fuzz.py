@@ -1,0 +1,30 @@
+"""Long-haul fuzzing runs: `pytest tests/fuzz -m fuzz`.
+
+Skipped in tier-1 (see conftest.py); these sweep every mutation site
+across many seeds and run a deeper program-differential pass.  The
+checked-in corpus (tests/fuzz/corpus) was frozen from runs like these.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.fuzz.harness import fuzz_mutants, fuzz_programs
+
+pytestmark = pytest.mark.fuzz
+
+
+def test_exhaustive_mutation_kill_sweep():
+    report = fuzz_mutants(seed=0, n=4, size=12)
+    assert report.mutants_total > 5_000
+    assert report.mutants_killed == report.mutants_total, "\n".join(
+        f.render() for f in report.findings
+    )
+    assert report.kills_misattributed == 0
+    assert report.ok
+
+
+def test_deep_program_differential_sweep():
+    report = fuzz_programs(seed=1000, n=40, size=16)
+    assert report.iterations == 40
+    assert report.ok, "\n".join(f.render() for f in report.findings)

@@ -1,0 +1,62 @@
+"""The ddmin line minimizer, against synthetic predicates."""
+
+from __future__ import annotations
+
+from repro.fuzz.minimize import ddmin_lines
+
+
+def lines(text):
+    return [l for l in text.splitlines() if l]
+
+
+def test_single_culprit_line_is_isolated():
+    text = "\n".join(f"line{i}" for i in range(40)) + "\n"
+    result = ddmin_lines(text, lambda t: "line23" in t)
+    assert lines(result) == ["line23"]
+
+
+def test_two_interacting_lines_survive():
+    text = "\n".join(f"line{i}" for i in range(30)) + "\n"
+    result = ddmin_lines(text, lambda t: "line3" in t and "line27" in t)
+    kept = lines(result)
+    assert "line3" in kept and "line27" in kept
+    assert len(kept) <= 4  # 1-minimal up to chunk granularity
+
+
+def test_non_failing_input_returned_unchanged():
+    text = "a\nb\nc\n"
+    assert ddmin_lines(text, lambda t: False) == text
+
+
+def test_result_always_satisfies_predicate():
+    text = "\n".join(f"x{i}" for i in range(17)) + "\n"
+    predicate = lambda t: sum(f"x{i}" in t for i in (2, 9, 16)) >= 2
+    result = ddmin_lines(text, predicate)
+    assert predicate(result)
+
+
+def test_probe_budget_is_respected():
+    calls = []
+
+    def failing(t):
+        calls.append(t)
+        return "x0" in t
+
+    text = "\n".join(f"x{i}" for i in range(64)) + "\n"
+    ddmin_lines(text, failing, max_probes=10)
+    assert len(calls) <= 12  # initial check + <= max_probes + slack
+
+
+def test_broken_candidates_count_as_not_failing():
+    # A predicate that "fails to compile" (returns False) whenever the
+    # magic pair is split across removals still converges on the pair.
+    text = "\n".join(["open", "a", "b", "close", "c", "d"]) + "\n"
+
+    def failing(t):
+        has_open, has_close = "open" in t, "close" in t
+        if has_open != has_close:
+            return False  # unbalanced: would not compile
+        return has_open and has_close
+
+    kept = lines(ddmin_lines(text, failing))
+    assert "open" in kept and "close" in kept

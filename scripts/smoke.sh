@@ -100,3 +100,67 @@ grep "(100.0%)" "$FUZZ_OUT" > /dev/null
 python -m repro fuzz --engine mutation --seed 0 --n 1 --stride 16 > "$FUZZ_OUT"
 grep "(100.0%)" "$FUZZ_OUT" > /dev/null
 echo "fuzz OK: corpus replay + strided mutation pass at 100% kill"
+
+# Profiling-tier smoke: the check-overhead report must decompose
+# exactly (per-category check cycles + "other" residual == cycle delta
+# over Base, per config), and the flamegraph export must be non-empty.
+REPORT="$WORK/report.json"
+FOLDED="$WORK/quickstart.folded"
+python -m repro report --seed 1 --json "$SRC" > "$REPORT"
+python - "$REPORT" <<'PY'
+import json
+import sys
+
+with open(sys.argv[1]) as handle:
+    report = json.load(handle)
+assert report["base"] == "Base", report
+assert report["configs"], "report has no configs"
+for entry in report["configs"]:
+    total = sum(part["cycles"] for part in entry["breakdown"].values())
+    assert total == entry["delta"], (
+        f"{entry['config']}: breakdown {total} != delta {entry['delta']}"
+    )
+mpx = next(e for e in report["configs"] if e["config"] == "OurMPX")
+assert mpx["breakdown"]["cfi"]["count"] > 0, mpx
+print(f"report OK: {len(report['configs'])} configs, decomposition exact")
+PY
+python -m repro run --config OurMPX --seed 1 --flamegraph "$FOLDED" "$SRC" \
+    > /dev/null
+test -s "$FOLDED"
+echo "flamegraph OK: $(wc -l < "$FOLDED") frames"
+
+# Benchmark-trajectory gate: a fresh `bench --store` record must pass
+# `bench diff` against the committed seed, and an injected
+# over-tolerance regression must make the diff FAIL (exit nonzero).
+BENCH_CI="$WORK/BENCH_ci.json"
+BENCH_BAD="$WORK/BENCH_bad.json"
+python -m repro bench --seed 1 --json --store "$BENCH_CI" \
+    --bench-name quickstart "$SRC" > /dev/null
+python -m repro bench diff BENCH_seed.json "$BENCH_CI" --suite quickstart
+python - "$BENCH_CI" "$BENCH_BAD" <<'PY'
+import json
+import sys
+
+with open(sys.argv[1]) as handle:
+    doc = json.load(handle)
+bench = doc["records"][-1]["benchmarks"][-1]
+bench["cycles"] = int(bench["cycles"] * 1.5)
+with open(sys.argv[2], "w") as handle:
+    json.dump(doc, handle)
+PY
+if python -m repro bench diff BENCH_seed.json "$BENCH_BAD" \
+    --suite quickstart > /dev/null 2>&1; then
+    echo "bench diff FAILED to flag an injected regression" >&2
+    exit 1
+fi
+echo "bench gate OK: seed diff clean, injected regression flagged"
+
+# CI artifact handoff: when $SMOKE_ARTIFACT_DIR is set, keep the bench
+# record and trace for upload (the workdir is deleted on exit).
+if [ -n "${SMOKE_ARTIFACT_DIR:-}" ]; then
+    mkdir -p "$SMOKE_ARTIFACT_DIR"
+    cp "$BENCH_CI" "$SMOKE_ARTIFACT_DIR/BENCH_ci.json"
+    cp "$TRACE" "$SMOKE_ARTIFACT_DIR/trace.json"
+    cp "$FOLDED" "$SMOKE_ARTIFACT_DIR/quickstart.folded"
+    echo "artifacts OK: copied to $SMOKE_ARTIFACT_DIR"
+fi

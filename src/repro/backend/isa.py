@@ -478,3 +478,32 @@ def mcall_bits(arg_taints: list, ret_taint, n_args: int) -> int:
 def mret_bits(ret_taint) -> int:
     """Return-site taint bits: 1 taint bit padded with four zeros."""
     return int(ret_taint)
+
+
+# ---------------------------------------------------------------------------
+# Check-site classification.
+#
+# Every instruction the instrumentation passes insert to *enforce*
+# confidentiality falls into one of these categories; the linker records
+# the classification of every code address in ``Binary.check_sites`` so
+# profilers and the verifier agree on what counts as a check.  The
+# categories line up with the paper's Fig. 5-8 overhead decomposition:
+# MPX bound checks, magic-sequence CFI checks, the magic words
+# themselves (zero-cost landing pads), stack probes, and the
+# shadow-stack ablation.
+
+CHECK_CATEGORIES = ("bnd", "cfi", "magic", "chkstk", "shadow")
+
+_CHECK_KINDS = {
+    BndChk: "bnd",
+    CheckMagic: "cfi",
+    MagicWord: "magic",
+    ChkStk: "chkstk",
+    ShadowPush: "shadow",
+    ShadowPop: "shadow",
+}
+
+
+def check_kind(insn: Insn) -> str | None:
+    """The check category of ``insn``, or None for ordinary code."""
+    return _CHECK_KINDS.get(type(insn))

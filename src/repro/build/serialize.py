@@ -50,7 +50,8 @@ from ..taint.lattice import Taint
 
 #: Bump whenever the encoded shape of any artifact changes; cached
 #: objects written under a different version are never read back.
-FORMAT_VERSION = 1
+#: v2: binaries carry the ``check_sites`` map (addr -> check category).
+FORMAT_VERSION = 2
 
 
 class SerializeError(ReproError):
@@ -291,6 +292,9 @@ def dump_binary(binary: Binary) -> bytes:
             "priv_globals_size": layout.priv_globals_size,
         },
         "read_only_ranges": [[lo, hi] for lo, hi in binary.read_only_ranges],
+        "check_sites": [
+            [addr, kind] for addr, kind in sorted(binary.check_sites.items())
+        ],
     }
     return _canon(doc)
 
@@ -320,6 +324,7 @@ def load_binary(data: bytes) -> Binary:
         lay["priv_globals_size"],
     )
     binary.read_only_ranges = [(lo, hi) for lo, hi in doc["read_only_ranges"]]
+    binary.check_sites = {addr: kind for addr, kind in doc["check_sites"]}
     return binary
 
 

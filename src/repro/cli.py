@@ -5,7 +5,14 @@ Commands
 run      compile a MiniC file and execute it on the simulated machine
 verify   compile and run ConfVerify on the result
 disasm   compile and print the linked instruction stream
-bench    run one source under every configuration and print overheads
+bench    run one source under every configuration and print overheads;
+         ``--store FILE`` appends a schema-versioned record to a
+         ``BENCH_*.json`` trajectory; ``bench diff OLD NEW`` compares
+         two trajectories with per-metric tolerances (nonzero exit on
+         regression)
+report   Fig. 5-8-style overhead decomposition: per-config % overhead
+         over Base broken down by check category (bnd/cfi/magic/
+         chkstk/shadow + other), measured by the block profiler
 stats    per-configuration table of compile-stage times and check counts
 build    separate compilation: sources -> ``.uo`` objects, or ``--link``
          several objects/sources into a serialized binary
@@ -34,7 +41,9 @@ suppress injection.
 Observability: ``--trace out.json`` writes a Chrome-trace/Perfetto file
 covering both compiler stages (wall clock) and machine execution
 (simulated cycles); ``--metrics`` dumps every recorded counter and
-histogram as a table on stderr.  See docs/OBSERVABILITY.md.
+histogram as a table on stderr.  ``run --profile-blocks`` prints
+per-basic-block cycle attribution, ``run --flamegraph out.folded``
+writes a collapsed-stack profile.  See docs/OBSERVABILITY.md.
 """
 
 from __future__ import annotations
@@ -147,7 +156,7 @@ def _finish_obs(args, registry: events.Registry | None) -> None:
         print(export.render_metrics_table(registry), file=sys.stderr)
 
 
-def _report_run(args, process, runtime, profiler) -> None:
+def _report_run(args, process, runtime, profiler, blockprof=None) -> None:
     # --metrics already dumps the machine counters (and more), so only
     # render the short stats table when it alone was requested.
     if args.stats and not args.metrics:
@@ -171,6 +180,22 @@ def _report_run(args, process, runtime, profiler) -> None:
                 ["function", "cycles", "share", "bnd", "cfi"],
                 rows,
                 title="profile",
+            ),
+            file=sys.stderr,
+        )
+    if blockprof is not None and getattr(args, "profile_blocks", False):
+        rows = [
+            [row.name, row.func, f"{row.cycles:,}",
+             f"{row.cycle_share:.1%}", f"{row.instructions:,}",
+             row.cache_misses]
+            for row in blockprof.report(top=16)
+        ]
+        print(
+            export.render_table(
+                ["block", "function", "cycles", "share", "instrs",
+                 "l1miss"],
+                rows,
+                title="block profile",
             ),
             file=sys.stderr,
         )
@@ -198,16 +223,27 @@ def cmd_run(args) -> int:
             from .machine.profile import attach_profiler
 
             profiler = attach_profiler(process.machine)
+        blockprof = None
+        if args.profile_blocks or args.flamegraph:
+            from .obs.blockprof import attach_block_profiler
+
+            blockprof = attach_block_profiler(process.machine)
         try:
             code = process.run()
         except MachineFault as fault:
             print(f"FAULT: {fault}", file=sys.stderr)
             return 2
+        if blockprof is not None and registry is not None:
+            blockprof.publish(registry)
     finally:
         _finish_obs(args, registry)
+    if blockprof is not None and args.flamegraph:
+        from .obs.blockprof import write_flamegraph
+
+        write_flamegraph(blockprof, args.flamegraph)
     for line in process.stdout:
         print(line)
-    _report_run(args, process, runtime, profiler)
+    _report_run(args, process, runtime, profiler, blockprof)
     return code & 0xFF
 
 
@@ -240,49 +276,121 @@ def cmd_disasm(args) -> int:
     return 0
 
 
+def run_bench_suite(
+    source: str,
+    *,
+    suite: str,
+    seed: int | None = None,
+    engine: str = "predecoded",
+    configs: dict | None = None,
+    runtime_factory=None,
+    jobs: int | None = None,
+) -> tuple[list[dict], list[dict]]:
+    """Compile + run ``source`` under every configuration.
+
+    Returns ``(records, benchmarks)``: the per-config records ``bench
+    --json`` prints (deterministic — no host timing), and the
+    ``bench_store`` per-benchmark entries (named ``suite/config`` and
+    carrying measured wall time) that ``--store`` appends to a
+    trajectory.  Shared by ``cmd_bench`` and the seed-trajectory
+    generator so both produce byte-comparable entries.
+    """
+    from .obs import bench_store
+
+    records: list[dict] = []
+    benchmarks: list[dict] = []
+    base_cycles = None
+    # Compile every configuration up front (in parallel with --jobs);
+    # execution stays serial in configuration order, so cycle counts
+    # are identical whatever the build width.
+    session = default_session()
+    config_map = configs if configs is not None else ALL_CONFIGS
+    requests = [
+        BuildRequest(source=source, config=config, seed=seed)
+        for config in config_map.values()
+    ]
+    binaries = session.build_many(requests, jobs=jobs)
+    for (name, config), binary in zip(config_map.items(), binaries):
+        runtime = runtime_factory() if runtime_factory else TrustedRuntime()
+        process = load(binary, runtime=runtime, engine=engine)
+        start = time.perf_counter()
+        process.run()
+        wall_s = time.perf_counter() - start
+        cycles = process.wall_cycles
+        if base_cycles is None:
+            base_cycles = cycles
+        pct = (
+            100.0 * (cycles - base_cycles) / base_cycles
+            if base_cycles
+            else 0.0
+        )
+        stats = process.stats
+        checks = {
+            "bnd": stats.bnd_checks,
+            "cfi": stats.cfi_checks,
+            "t_calls": stats.t_calls,
+        }
+        records.append(
+            {
+                "config": name,
+                "cycles": cycles,
+                "overhead_pct": round(pct, 2),
+                "instructions": stats.instructions,
+                "checks": checks,
+            }
+        )
+        benchmarks.append(
+            bench_store.make_benchmark(
+                name=f"{suite}/{name}",
+                config=name,
+                cycles=cycles,
+                instructions=stats.instructions,
+                checks=checks,
+                wall_time_s=wall_s,
+            )
+        )
+    return records, benchmarks
+
+
 def cmd_bench(args) -> int:
+    from .obs import bench_store
+
     source = _read_source(args.source, not args.no_prototypes)
     registry = _activate_obs(args)
-    records = []
-    base_cycles = None
+    suite = args.bench_name
+    if suite is None:
+        stem = os.path.basename(args.source)
+        suite = stem[: stem.rfind(".")] if "." in stem else stem
     try:
-        # Compile every configuration up front (in parallel with
-        # --jobs); execution stays serial in configuration order, so
-        # cycle counts are identical whatever the build width.
-        session = default_session()
-        requests = [
-            BuildRequest(source=source, config=config, seed=args.seed)
-            for config in ALL_CONFIGS.values()
-        ]
-        binaries = session.build_many(requests, jobs=getattr(args, "jobs", None))
-        for (name, config), binary in zip(ALL_CONFIGS.items(), binaries):
-            process = load(binary, runtime=_make_runtime(args),
-                           engine=args.engine)
-            process.run()
-            cycles = process.wall_cycles
-            if base_cycles is None:
-                base_cycles = cycles
-            pct = (
-                100.0 * (cycles - base_cycles) / base_cycles
-                if base_cycles
-                else 0.0
-            )
-            stats = process.stats
-            records.append(
-                {
-                    "config": name,
-                    "cycles": cycles,
-                    "overhead_pct": round(pct, 2),
-                    "instructions": stats.instructions,
-                    "checks": {
-                        "bnd": stats.bnd_checks,
-                        "cfi": stats.cfi_checks,
-                        "t_calls": stats.t_calls,
-                    },
-                }
-            )
+        records, benchmarks = run_bench_suite(
+            source,
+            suite=suite,
+            seed=args.seed,
+            engine=args.engine,
+            runtime_factory=lambda: _make_runtime(args),
+            jobs=getattr(args, "jobs", None),
+        )
     finally:
         _finish_obs(args, registry)
+    if args.store:
+        cache_state = (
+            "dir"
+            if (args.cache_dir or os.environ.get("REPRO_CACHE_DIR"))
+            else "off"
+        )
+        record = bench_store.make_record(
+            name=suite,
+            seed=args.seed,
+            engine=args.engine,
+            cache=cache_state,
+            benchmarks=benchmarks,
+        )
+        total = bench_store.append_record(args.store, record)
+        print(
+            f"stored record #{total} ({suite}, {len(benchmarks)} "
+            f"benchmarks) -> {args.store}",
+            file=sys.stderr,
+        )
     if args.json:
         print(json.dumps(records, indent=2))
         return 0
@@ -303,6 +411,177 @@ def cmd_bench(args) -> int:
             ["config", "cycles", "vs Base", "instrs", "bnd", "cfi", "tcalls"],
             rows,
             title="bench",
+        )
+    )
+    return 0
+
+
+def cmd_bench_diff(args) -> int:
+    """Compare two trajectory records; nonzero exit on regression."""
+    from .obs import bench_store
+
+    old = bench_store.latest_record(args.old, name=args.suite)
+    new = bench_store.latest_record(args.new, name=args.suite)
+    tolerances = {}
+    if args.tol_cycles is not None:
+        tolerances["cycles"] = args.tol_cycles
+    if args.tol_instructions is not None:
+        tolerances["instructions"] = args.tol_instructions
+    if args.tol_wall is not None:
+        tolerances["wall_time_s"] = args.tol_wall
+    result = bench_store.diff_records(old, new, tolerances)
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "ok": result.ok,
+                    "regressions": [
+                        {
+                            "benchmark": row.benchmark,
+                            "metric": row.metric,
+                            "old": row.old,
+                            "new": row.new,
+                            "delta_pct": round(row.delta_pct, 4),
+                            "tolerance": row.tolerance,
+                        }
+                        for row in result.regressions
+                    ],
+                    "only_old": result.only_old,
+                    "only_new": result.only_new,
+                    "compared": len(result.rows),
+                },
+                indent=2,
+            )
+        )
+    else:
+        print(bench_store.render_diff(result))
+    return 0 if result.ok else 3
+
+
+def cmd_report(args) -> int:
+    """Fig. 5-8-style check-overhead decomposition per configuration.
+
+    Every config (including Base) runs once under the block profiler;
+    each executed check site is charged its exact cycle cost.  The
+    per-category sums plus the ``other`` residual (pipeline effects not
+    tied to one check instruction: bound setup, cache displacement,
+    alignment) decompose the cycle delta over Base *exactly*:
+    ``sum(categories) + other == cycles(config) - cycles(Base)``.
+    """
+    from .obs.blockprof import attach_block_profiler
+    from .verifier import verify_check_sites
+
+    source = _read_source(args.source, not args.no_prototypes)
+    if args.configs:
+        wanted = []
+        for part in args.configs.split(","):
+            name = part.strip()
+            if name and name not in wanted:
+                wanted.append(name)
+        unknown = [n for n in wanted if n not in ALL_CONFIGS]
+        if unknown:
+            raise ReproError(
+                f"unknown config(s) {', '.join(unknown)} "
+                f"(choose from {', '.join(sorted(ALL_CONFIGS))})"
+            )
+        if "Base" not in wanted:
+            wanted.insert(0, "Base")
+        config_map = {n: ALL_CONFIGS[n] for n in ALL_CONFIGS if n in wanted}
+    else:
+        config_map = dict(ALL_CONFIGS)
+
+    registry = _activate_obs(args)
+    results: dict[str, dict] = {}
+    try:
+        session = default_session()
+        requests = [
+            BuildRequest(source=source, config=config, seed=args.seed)
+            for config in config_map.values()
+        ]
+        binaries = session.build_many(requests)
+        for (name, _config), binary in zip(config_map.items(), binaries):
+            verify_check_sites(binary)
+            process = load(binary, runtime=_make_runtime(args),
+                           engine=args.engine)
+            blockprof = attach_block_profiler(process.machine)
+            process.run()
+            results[name] = {
+                "cycles": process.wall_cycles,
+                "summary": blockprof.check_summary(),
+            }
+    finally:
+        _finish_obs(args, registry)
+
+    base_cycles = results["Base"]["cycles"]
+    report = []
+    for name in config_map:
+        cycles = results[name]["cycles"]
+        summary = results[name]["summary"]
+        delta = cycles - base_cycles
+        check_total = sum(c["cycles"] for c in summary.values())
+        other = delta - check_total
+        breakdown = {
+            cat: {
+                "count": summary[cat]["count"],
+                "cycles": summary[cat]["cycles"],
+                "pct_of_base": round(
+                    100.0 * summary[cat]["cycles"] / base_cycles, 2
+                )
+                if base_cycles
+                else 0.0,
+            }
+            for cat in summary
+        }
+        breakdown["other"] = {
+            "cycles": other,
+            "pct_of_base": round(100.0 * other / base_cycles, 2)
+            if base_cycles
+            else 0.0,
+        }
+        report.append(
+            {
+                "config": name,
+                "cycles": cycles,
+                "delta": delta,
+                "overhead_pct": round(100.0 * delta / base_cycles, 2)
+                if base_cycles
+                else 0.0,
+                "breakdown": breakdown,
+            }
+        )
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "source": args.source,
+                    "seed": args.seed,
+                    "engine": args.engine,
+                    "base": "Base",
+                    "base_cycles": base_cycles,
+                    "configs": report,
+                },
+                indent=2,
+            )
+        )
+        return 0
+    categories = list(report[0]["breakdown"]) if report else []
+    rows = [
+        [
+            entry["config"],
+            f"{entry['cycles']:,}",
+            f"{entry['overhead_pct']:+.1f}%",
+        ]
+        + [
+            f"{entry['breakdown'][cat]['cycles']:,}"
+            for cat in categories
+        ]
+        for entry in report
+    ]
+    print(
+        export.render_table(
+            ["config", "cycles", "vs Base"] + list(categories),
+            rows,
+            title="check-overhead decomposition (cycles)",
         )
     )
     return 0
@@ -553,9 +832,54 @@ def build_parser() -> argparse.ArgumentParser:
                            help="print a machine-counter summary table")
             p.add_argument("--profile", action="store_true",
                            help="print per-function cycle attribution")
+            p.add_argument("--profile-blocks", action="store_true",
+                           help="print per-basic-block cycle/L1 "
+                                "attribution (block profiler)")
+            p.add_argument("--flamegraph", metavar="PATH", default=None,
+                           help="write a collapsed-stack flamegraph "
+                                "profile (func;block cycles per line)")
         if name == "bench":
             p.add_argument("--json", action="store_true",
                            help="emit machine-readable benchmark records")
+            p.add_argument("--store", metavar="FILE", default=None,
+                           help="append a schema-versioned record to a "
+                                "BENCH_*.json trajectory file")
+            p.add_argument("--bench-name", metavar="NAME", default=None,
+                           help="suite name for stored benchmark entries "
+                                "(default: source basename)")
+
+    p = sub.add_parser(
+        "report",
+        help="Fig. 5-8-style overhead decomposition per config "
+             "(per-category check cycles measured by the block profiler)",
+    )
+    p.add_argument("source", help="MiniC source file")
+    p.add_argument("--configs", default=None, metavar="A,B",
+                   help="comma-separated config subset "
+                        "(Base is always included as the baseline)")
+    p.add_argument("--seed", type=int, default=None)
+    p.add_argument("--no-prototypes", action="store_true",
+                   help="do not prepend the standard T prototypes")
+    p.add_argument("--file", action="append",
+                   help="name=path: add a RAM-disk file")
+    p.add_argument("--password", action="append",
+                   help="user=pw: register a stored password")
+    p.add_argument("--stdin-hex", default=None,
+                   help="hex bytes fed to channel 0")
+    p.add_argument("--engine", default="predecoded",
+                   choices=("predecoded", "reference"),
+                   help="execution engine (identical attribution)")
+    p.add_argument("--json", action="store_true",
+                   help="emit the decomposition as JSON")
+    p.add_argument("--trace", metavar="PATH", default=None,
+                   help="write a Chrome-trace/Perfetto JSON file")
+    p.add_argument("--metrics", action="store_true",
+                   help="dump all recorded metrics to stderr")
+    p.add_argument("--cache-dir", default=None, metavar="DIR",
+                   help="content-addressed object cache directory")
+    p.add_argument("--jobs", type=int, default=None, metavar="N",
+                   help="compile configurations with N parallel workers")
+    p.set_defaults(handler=cmd_report)
 
     p = sub.add_parser(
         "build", help="separate compilation: sources -> objects / binary"
@@ -626,14 +950,46 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def build_bench_diff_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro bench diff",
+        description="compare two BENCH_*.json trajectory records; "
+                    "exit 3 when any gated metric regresses beyond "
+                    "tolerance",
+    )
+    parser.add_argument("old", help="baseline trajectory file")
+    parser.add_argument("new", help="candidate trajectory file")
+    parser.add_argument("--suite", default=None, metavar="NAME",
+                        help="compare this suite's latest records only")
+    parser.add_argument("--tol-cycles", type=float, default=None,
+                        metavar="F",
+                        help="relative cycle tolerance (default 0.02)")
+    parser.add_argument("--tol-instructions", type=float, default=None,
+                        metavar="F",
+                        help="relative instruction tolerance "
+                             "(default 0.02)")
+    parser.add_argument("--tol-wall", type=float, default=None,
+                        metavar="F",
+                        help="gate wall time too, with this relative "
+                             "tolerance (ungated by default: host noise)")
+    parser.add_argument("--json", action="store_true",
+                        help="emit the diff result as JSON")
+    return parser
+
+
 def main(argv: list[str] | None = None) -> int:
-    args = build_parser().parse_args(argv)
+    argv = list(sys.argv[1:]) if argv is None else list(argv)
     try:
+        # `bench diff` takes two trajectory files, not a source file —
+        # dispatch it before the regular bench parser sees the args.
+        if argv[:2] == ["bench", "diff"]:
+            return cmd_bench_diff(build_bench_diff_parser().parse_args(argv[2:]))
+        args = build_parser().parse_args(argv)
         if args.command == "cache":
             return args.handler(args)
         with _session_scope(args):
             return args.handler(args)
-    except (ReproError, OSError) as error:
+    except (ReproError, OSError, json.JSONDecodeError) as error:
         print(f"error: {error}", file=sys.stderr)
         return 1
 

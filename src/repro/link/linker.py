@@ -359,7 +359,15 @@ def _link(obj: UObject, entry: str, seed: int | None) -> Binary:
     )
     binary.layout = layout
     binary.read_only_ranges = _read_only_ranges(all_globals, global_addrs)
+    # Classify every instrumentation check site into the binary's
+    # symbol info (after magic patching, so the map covers final code).
+    binary.check_sites = {
+        addr: kind
+        for addr, insn in enumerate(code)
+        if (kind := isa.check_kind(insn)) is not None
+    }
     events.counter("linker.code_words").inc(len(code))
+    events.counter("linker.check_sites").inc(len(binary.check_sites))
     events.counter("linker.stubs").inc(n_imports)
     events.counter("linker.globals", region="pub").inc(len(pub_offsets))
     events.counter("linker.globals", region="priv").inc(len(priv_offsets))

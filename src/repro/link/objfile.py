@@ -55,6 +55,10 @@ class Binary:
     every label (functions and basic blocks) to its word address;
     ``func_magic_addrs`` maps function names to the address of their
     MCall magic word (what function pointers hold under CFI).
+    ``check_sites`` maps the address of every instrumentation check
+    (bnd / cfi / magic / chkstk / shadow, see ``isa.check_kind``) to its
+    category — symbol-side metadata the profiler and overhead reports
+    consume without rescanning the code.
     """
 
     code: list[Insn]
@@ -74,6 +78,8 @@ class Binary:
     # the loader must map read-only (rodata + the externals table).
     layout: object = None
     read_only_ranges: list[tuple[int, int]] = field(default_factory=list)
+    # Address -> check category (populated by the linker; see class doc).
+    check_sites: dict[int, str] = field(default_factory=dict)
 
     @property
     def entry_addr(self) -> int:

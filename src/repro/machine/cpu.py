@@ -153,6 +153,12 @@ class Machine:
         # every retired instruction.  Empty by default; the fast path
         # pays one truthiness test per instruction and nothing else.
         self._step_hooks: list = []
+        # While hooks are attached, the cache-miss delta of the retiring
+        # instruction (on the executing thread's core) is published here
+        # before the hooks run, so profilers can attribute L1 events
+        # per block without changing the hook signature.  Never updated
+        # on the hook-free fast path.
+        self.hook_cache_misses = 0
         self._dispatch = {
             isa.MagicWord: self._i_magic,
             isa.MovRI: self._i_mov_ri,
@@ -202,7 +208,9 @@ class Machine:
     def add_step_hook(self, hook) -> None:
         """Register ``hook(thread, pc, insn, cycles)`` to run after each
         retired instruction.  ``cycles`` is the simulated cost the
-        instruction added to its core, cache penalties included."""
+        instruction added to its core, cache penalties included; the
+        instruction's cache-miss count is readable from
+        ``machine.hook_cache_misses`` during the callback."""
         if hook in self._step_hooks:
             raise ValueError("step hook already attached")
         self._step_hooks.append(hook)
@@ -360,11 +368,14 @@ class Machine:
             self.core_cycles[thread.core] += costs.BASE_COST[insn.cost_class]
             self._dispatch[type(insn)](thread, insn)
             return
+        cache = self.caches[thread.core]
         before = self.core_cycles[thread.core]
+        misses_before = cache.misses
         self.stats.instructions += 1
         self.core_cycles[thread.core] += costs.BASE_COST[insn.cost_class]
         self._dispatch[type(insn)](thread, insn)
         cycles = self.core_cycles[thread.core] - before
+        self.hook_cache_misses = cache.misses - misses_before
         for hook in hooks:
             hook(thread, pc, insn, cycles)
 
@@ -378,9 +389,12 @@ class Machine:
         if not hooks:
             handlers[pc](thread)
             return
+        cache = self.caches[thread.core]
         before = self.core_cycles[thread.core]
+        misses_before = cache.misses
         handlers[pc](thread)
         cycles = self.core_cycles[thread.core] - before
+        self.hook_cache_misses = cache.misses - misses_before
         insn = self.code[pc]
         for hook in hooks:
             hook(thread, pc, insn, cycles)

@@ -96,7 +96,9 @@ class Profiler:
             )
             for name, cycles in self.cycles.items()
         ]
-        rows.sort(key=lambda r: r.cycles, reverse=True)
+        # Cycles-descending with the name as a tie-break, so functions
+        # with equal cycle counts never flip between runs.
+        rows.sort(key=lambda r: (-r.cycles, r.name))
         return rows[:top] if top else rows
 
 

@@ -6,8 +6,12 @@ One measurement layer for the whole compile→verify→execute pipeline:
   context managers, activation (:func:`events.use` / ``activate``);
 * :mod:`repro.obs.metrics` — labelled counters and histograms;
 * :mod:`repro.obs.trace` — Chrome-trace/Perfetto JSON export (wall-time
-  compiler spans + simulated-cycle machine spans);
-* :mod:`repro.obs.export` — JSON and human-readable table renderers.
+  compiler spans + simulated-cycle machine spans + counter tracks);
+* :mod:`repro.obs.export` — JSON and human-readable table renderers;
+* :mod:`repro.obs.blockprof` — basic-block/edge profiling, per-site
+  check-overhead attribution, flamegraph export;
+* :mod:`repro.obs.bench_store` — ``BENCH_*.json`` benchmark
+  trajectories and tolerance-gated regression diffs.
 
 Observability is opt-in: while no registry is active every
 instrumentation site is a null-object no-op, and activating one never
@@ -15,9 +19,16 @@ changes emitted code or simulated cycle counts.  See
 docs/OBSERVABILITY.md for naming conventions and usage.
 """
 
+from .blockprof import (
+    BlockProfiler,
+    attach_block_profiler,
+    detach_block_profiler,
+    write_flamegraph,
+)
 from .events import (
     CYCLES,
     WALL,
+    CounterSample,
     Registry,
     Span,
     activate,
@@ -34,6 +45,7 @@ from .trace import to_chrome_trace, write_chrome_trace
 __all__ = [
     "Registry",
     "Span",
+    "CounterSample",
     "Counter",
     "Histogram",
     "WALL",
@@ -47,4 +59,8 @@ __all__ = [
     "histogram",
     "to_chrome_trace",
     "write_chrome_trace",
+    "BlockProfiler",
+    "attach_block_profiler",
+    "detach_block_profiler",
+    "write_flamegraph",
 ]

@@ -54,6 +54,21 @@ class Span:
     args: dict = field(default_factory=dict)
 
 
+@dataclass
+class CounterSample:
+    """One point of a counter track (Perfetto ``"ph": "C"`` event).
+
+    ``ts`` is on the simulated-cycle clock by default — profilers
+    sample at deterministic instruction strides, so two engines emit
+    identical tracks."""
+
+    name: str
+    ts: float
+    value: float
+    clock: str = CYCLES
+    cat: str = "machine"
+
+
 class _SpanHandle:
     """Context manager recording one WALL-clock span on exit."""
 
@@ -124,6 +139,7 @@ class Registry:
     def __init__(self) -> None:
         self._lock = threading.Lock()
         self._spans: list[Span] = []
+        self._counter_samples: list[CounterSample] = []
         self._counters: dict[tuple, Counter] = {}
         self._histograms: dict[tuple, Histogram] = {}
         self._epoch_ns = time.perf_counter_ns()
@@ -182,6 +198,27 @@ class Registry:
     def spans(self) -> list[Span]:
         with self._lock:
             return list(self._spans)
+
+    def add_counter_sample(
+        self,
+        name: str,
+        ts: float,
+        value: float,
+        clock: str = CYCLES,
+        cat: str = "machine",
+    ) -> None:
+        """Record one counter-track point (rendered as a Perfetto
+        ``"C"`` event by the Chrome-trace exporter)."""
+        sample = CounterSample(
+            name=name, ts=float(ts), value=value, clock=clock, cat=cat
+        )
+        with self._lock:
+            self._counter_samples.append(sample)
+
+    @property
+    def counter_samples(self) -> list[CounterSample]:
+        with self._lock:
+            return list(self._counter_samples)
 
     # -- metrics -----------------------------------------------------------
 

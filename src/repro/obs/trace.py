@@ -1,4 +1,4 @@
-"""Chrome-trace/Perfetto export of recorded spans.
+"""Chrome-trace/Perfetto export of recorded spans and counter tracks.
 
 Spans live on two clocks, mapped to two trace "processes" so Perfetto
 renders them on separate tracks without unit confusion:
@@ -8,8 +8,13 @@ renders them on separate tracks without unit confusion:
   rendered as one microsecond.
 
 Every span becomes a complete-duration event (``"ph": "X"``) carrying
-``name``/``cat``/``ts``/``dur``/``pid``/``tid``; process-name metadata
-events (``"ph": "M"``) label the two tracks.  Open the output at
+``name``/``cat``/``ts``/``dur``/``pid``/``tid``; registry counter
+samples (e.g. the block profiler's per-category check-cycle
+trajectories) become counter events (``"ph": "C"``); process-name
+metadata events (``"ph": "M"``) label the two tracks.  Events are
+emitted in a fully deterministic order — metadata first, then
+everything else sorted by ``(pid, tid, ts, ...)`` — so two identical
+runs serialize byte-identically.  Open the output at
 https://ui.perfetto.dev or chrome://tracing.
 """
 
@@ -17,7 +22,7 @@ from __future__ import annotations
 
 import json
 
-from .events import Registry, Span, WALL
+from .events import CounterSample, Registry, Span, WALL
 
 PID_COMPILE = 1
 PID_MACHINE = 2
@@ -47,23 +52,57 @@ def span_to_event(span: Span) -> dict:
     }
 
 
+def sample_to_event(sample: CounterSample) -> dict:
+    """Convert one counter sample into a Chrome-trace counter event."""
+    pid = PID_COMPILE if sample.clock == WALL else PID_MACHINE
+    return {
+        "name": sample.name,
+        "cat": sample.cat,
+        "ph": "C",
+        "ts": sample.ts,
+        "pid": pid,
+        "tid": 0,
+        "args": {"value": sample.value},
+    }
+
+
+def _event_key(event: dict) -> tuple:
+    # Total, deterministic order: track first, then time; longer events
+    # (parents) before shorter at the same timestamp; counters after
+    # complete events at the same instant.
+    return (
+        event["pid"],
+        event["tid"],
+        event["ts"],
+        0 if event["ph"] == "X" else 1,
+        -event.get("dur", 0),
+        event["name"],
+    )
+
+
 def to_chrome_trace(source: Registry | list[Span]) -> dict:
     """Build the Chrome-trace JSON object for a registry (or span list)."""
-    spans = source.spans if isinstance(source, Registry) else list(source)
-    events: list[dict] = []
-    used_pids = {PID_COMPILE if s.clock == WALL else PID_MACHINE for s in spans}
-    for pid in sorted(used_pids or {PID_COMPILE}):
-        events.append(
-            {
-                "name": "process_name",
-                "ph": "M",
-                "pid": pid,
-                "tid": 0,
-                "args": {"name": _PROCESS_NAMES[pid]},
-            }
-        )
-    events.extend(span_to_event(span) for span in spans)
-    return {"traceEvents": events, "displayTimeUnit": "ms"}
+    if isinstance(source, Registry):
+        spans = source.spans
+        samples = source.counter_samples
+    else:
+        spans = list(source)
+        samples = []
+    events: list[dict] = [span_to_event(span) for span in spans]
+    events.extend(sample_to_event(sample) for sample in samples)
+    events.sort(key=_event_key)
+    used_pids = {e["pid"] for e in events}
+    meta = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": pid,
+            "tid": 0,
+            "args": {"name": _PROCESS_NAMES[pid]},
+        }
+        for pid in sorted(used_pids or {PID_COMPILE})
+    ]
+    return {"traceEvents": meta + events, "displayTimeUnit": "ms"}
 
 
 def write_chrome_trace(source: Registry | list[Span], path: str) -> None:

@@ -1,5 +1,15 @@
 """ConfVerify: the static binary verifier."""
 
-from .verify import BinaryVerifier, verify_binary
+from .verify import (
+    BinaryVerifier,
+    expected_check_sites,
+    verify_binary,
+    verify_check_sites,
+)
 
-__all__ = ["verify_binary", "BinaryVerifier"]
+__all__ = [
+    "verify_binary",
+    "BinaryVerifier",
+    "expected_check_sites",
+    "verify_check_sites",
+]

@@ -600,3 +600,44 @@ def verify_binary(binary: Binary) -> None:
     """Run ConfVerify on a linked binary; raises VerifyError on reject."""
     with events.span("compile.verify", cat="verify", config=binary.config.name):
         BinaryVerifier(binary).verify()
+
+
+def expected_check_sites(binary: Binary) -> dict[int, str]:
+    """Re-derive the check-site map from the instruction stream alone.
+
+    This is the ground truth the linker's recorded ``check_sites``
+    metadata must agree with; profilers classify executed instructions
+    with the same ``isa.check_kind`` predicate, so agreement here means
+    the symbol-side metadata and the dynamic attribution can never
+    drift apart.
+    """
+    return {
+        addr: kind
+        for addr, insn in enumerate(binary.code)
+        if (kind := isa.check_kind(insn)) is not None
+    }
+
+
+def verify_check_sites(binary: Binary) -> None:
+    """Cross-check the recorded check-site metadata against the code.
+
+    Kept outside the :meth:`BinaryVerifier.verify` gauntlet on purpose:
+    the mutation-kill corpus rewrites instructions in place, and a
+    stale-metadata rejection there would mask the *semantic* reason a
+    mutant must be killed.  Overhead reports call this before trusting
+    ``binary.check_sites``.
+    """
+    expected = expected_check_sites(binary)
+    recorded = binary.check_sites
+    if recorded == expected:
+        return
+    missing = sorted(set(expected) - set(recorded))
+    stale = sorted(
+        addr for addr, kind in recorded.items()
+        if expected.get(addr) != kind
+    )
+    raise VerifyError(
+        "check-sites-stale",
+        f"{len(missing)} unrecorded and {len(stale)} stale check sites "
+        f"(first: {(missing + stale)[:4]})",
+    )

@@ -219,3 +219,51 @@ int main() {
             process.run()
             streams[engine] = (machine.stats.instructions, stream)
         assert streams["reference"] == streams["predecoded"]
+
+
+class TestBlockProfilerEquivalence:
+    """Block/edge/check-site attribution and counter samples are
+    engine-independent — the acceptance contract for the profiling
+    tier."""
+
+    def blockprof_signature(self, binary, engine):
+        from repro.obs.blockprof import attach_block_profiler
+
+        process = load(binary, runtime=TrustedRuntime(), engine=engine)
+        profiler = attach_block_profiler(process.machine)
+        try:
+            process.run()
+        except MachineFault as fault:
+            pass
+        return {
+            "cycles": sorted(profiler.cycles.items()),
+            "instructions": sorted(profiler.instructions.items()),
+            "cache_misses": sorted(profiler.cache_misses.items()),
+            "edges": sorted(profiler.edges.items()),
+            "sites": sorted(
+                (addr, tuple(entry))
+                for addr, entry in profiler.sites.items()
+            ),
+            "samples": profiler.samples,
+            "flamegraph": profiler.flamegraph_lines(),
+        }
+
+    @pytest.mark.parametrize("seed", (7, 481))
+    @pytest.mark.parametrize(
+        "config", (OUR_MPX, OUR_SEG), ids=lambda c: c.name
+    )
+    def test_corpus_attribution_identical(self, seed, config):
+        source = ProgramGen(seed).gen()
+        binary = compile_source(source, config, seed=seed)
+        assert self.blockprof_signature(
+            binary, "reference"
+        ) == self.blockprof_signature(binary, "predecoded")
+
+    def test_structured_program_attribution_identical(self):
+        binary = compile_source(
+            TestStepHookEquivalence.SOURCE, OUR_MPX, seed=3
+        )
+        reference = self.blockprof_signature(binary, "reference")
+        predecoded = self.blockprof_signature(binary, "predecoded")
+        assert reference == predecoded
+        assert reference["sites"]  # checks actually executed

@@ -89,6 +89,21 @@ class TestProfiler:
         process.run()
         assert profiler.cycles == {}
 
+    def test_report_ties_broken_by_name(self):
+        """Equal-cycle rows come out in name order, so reports are
+        stable run-to-run regardless of dict insertion order."""
+        from types import SimpleNamespace
+
+        from repro.machine.profile import Profiler
+
+        binary = SimpleNamespace(label_addrs={"b_fn": 0, "a_fn": 10, "c_fn": 20})
+        profiler = Profiler(binary)
+        for name, cycles in (("b_fn", 5), ("c_fn", 5), ("a_fn", 5)):
+            profiler.cycles[name] = cycles
+            profiler.instructions[name] = 1
+        rows = profiler.report()
+        assert [r.name for r in rows] == ["a_fn", "b_fn", "c_fn"]
+
     def test_double_attach_same_profiler_raises(self):
         process = compile_and_load(SOURCE, BASE)
         profiler = attach_profiler(process.machine)

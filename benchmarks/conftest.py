@@ -15,11 +15,21 @@ import os
 import pytest
 
 
-def pytest_collection_modifyitems(items):
+def pytest_collection_modifyitems(config, items):
     # Everything under benchmarks/ is a paper-evaluation suite: mark it
     # so tier-1 runs can deselect with `-m "not benchmarks"`.
     for item in items:
         item.add_marker(pytest.mark.benchmarks)
+    # High-volume serving sweeps (>=1e5 requests) only run when asked
+    # for explicitly, mirroring the tests/fuzz gating.
+    if "load" in (config.option.markexpr or ""):
+        return
+    skip_load = pytest.mark.skip(
+        reason="high-volume load sweep; select with -m load"
+    )
+    for item in items:
+        if "load" in item.keywords:
+            item.add_marker(skip_load)
 
 
 @pytest.fixture(scope="session", autouse=True)

@@ -28,10 +28,17 @@ sys.path.insert(0, _ROOT)  # for examples.quickstart
 from examples.quickstart import FIXED  # noqa: E402
 from repro.apps.spec import SPEC_NAMES, kernel_source  # noqa: E402
 from repro.cli import run_bench_suite  # noqa: E402
-from repro.config import SPEC_CONFIGS  # noqa: E402
+from repro.config import OUR_MPX, SPEC_CONFIGS  # noqa: E402
 from repro.obs import bench_store  # noqa: E402
+from repro.serve import run_load  # noqa: E402
 
 SEED = 1
+
+# Must match the `repro serve --store` invocations in scripts/smoke.sh
+# so CI records diff cleanly against the seed.
+SERVE_APPS = ("webserver", "dirserver", "classifier")
+SERVE_PARAMS = dict(tenants=2, pool_size=2, batch=1, seed=SEED)
+SERVE_REQUESTS = {"webserver": 400, "dirserver": 400, "classifier": 120}
 
 
 def build_records() -> list[dict]:
@@ -70,6 +77,25 @@ def build_records() -> list[dict]:
             benchmarks=fig5_benchmarks,
         )
     )
+
+    # Suites 3-5: the serving tier, one record per app, matching what
+    # smoke.sh stores from `repro serve --store`.  batch=1 makes the
+    # cycle/instruction totals exactly reproducible.
+    for app in SERVE_APPS:
+        report = run_load(
+            app, OUR_MPX, requests=SERVE_REQUESTS[app], **SERVE_PARAMS
+        )
+        assert report.faults == 0, f"serve seed: {app} faulted"
+        assert report.valid == report.requests, f"serve seed: {app} invalid"
+        records.append(
+            bench_store.make_record(
+                name=f"serve/{app}",
+                seed=SEED,
+                engine="predecoded",
+                cache="off",
+                benchmarks=[report.bench_entry()],
+            )
+        )
     return records
 
 

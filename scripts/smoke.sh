@@ -155,11 +155,49 @@ if python -m repro bench diff BENCH_seed.json "$BENCH_BAD" \
 fi
 echo "bench gate OK: seed diff clean, injected regression flagged"
 
+# Serving-tier smoke: a 2-tenant fleet per app (~1k requests total
+# across the three real apps), zero pool faults, every response valid,
+# and the stored serve/<app> records must diff clean against the seed.
+# Parameters must match scripts/gen_bench_seed.py.
+SERVE_CI="$WORK/BENCH_serve_ci.json"
+for APP in webserver dirserver classifier; do
+    if [ "$APP" = classifier ]; then N=120; else N=400; fi
+    SERVE_JSON="$WORK/serve_$APP.json"
+    python -m repro serve --app "$APP" --seed 1 --tenants 2 \
+        --pool-size 2 --requests "$N" --json --store "$SERVE_CI" \
+        > "$SERVE_JSON"
+    python - "$SERVE_JSON" <<'PY'
+import json
+import sys
+
+with open(sys.argv[1]) as handle:
+    report = json.load(handle)
+assert report["faults"] == 0, f"{report['app']}: pool faults"
+assert report["evictions"] == 0, f"{report['app']}: evictions"
+assert report["valid"] == report["requests"], (
+    f"{report['app']}: {report['requests'] - report['valid']} bad responses"
+)
+for clock in ("latency_wall_ms", "latency_cycles"):
+    lat = report[clock]
+    assert 0 < lat["p50"] <= lat["p95"] <= lat["p99"], lat
+assert report["setup"]["wall_speedup"] >= 100, report["setup"]
+print(
+    f"serve OK: {report['app']} {report['requests']} reqs, "
+    f"{report['throughput_rps']:.0f} req/s, "
+    f"fork setup {report['setup']['wall_speedup']:.0f}x cheaper"
+)
+PY
+    python -m repro bench diff BENCH_seed.json "$SERVE_CI" \
+        --suite "serve/$APP"
+done
+echo "serve gate OK: 3 apps, zero faults, seed diff clean"
+
 # CI artifact handoff: when $SMOKE_ARTIFACT_DIR is set, keep the bench
 # record and trace for upload (the workdir is deleted on exit).
 if [ -n "${SMOKE_ARTIFACT_DIR:-}" ]; then
     mkdir -p "$SMOKE_ARTIFACT_DIR"
     cp "$BENCH_CI" "$SMOKE_ARTIFACT_DIR/BENCH_ci.json"
+    cp "$SERVE_CI" "$SMOKE_ARTIFACT_DIR/BENCH_serve_ci.json"
     cp "$TRACE" "$SMOKE_ARTIFACT_DIR/trace.json"
     cp "$FOLDED" "$SMOKE_ARTIFACT_DIR/quickstart.folded"
     echo "artifacts OK: copied to $SMOKE_ARTIFACT_DIR"

@@ -94,16 +94,27 @@ int miss_scan(int slot, int key) {
 }
 
 char auth_user[8];
+// Wire bytes (still encrypted, hence public) of the last successful
+// bind.  The cached-bind fast path must match credentials, not just
+// the user name: caching on the name alone would let any request
+// reuse another request's bind by quoting the user with a garbage
+// password.
+char auth_wire_pw[16];
 int auth_valid = 0;
 
 int authenticate() {
     // Simple bind once per connection: re-authenticate only when the
-    // bind DN changes (real LDAP binds are per-connection, not
-    // per-operation).
+    // bind credentials change (real LDAP binds are per-connection,
+    // not per-operation).
     if (auth_valid) {
         int same = 1;
         for (int i = 0; i < 8; i++) {
             if (auth_user[i] != req[8 + i]) { same = 0; break; }
+        }
+        if (same) {
+            for (int i = 0; i < 16; i++) {
+                if (auth_wire_pw[i] != req[16 + i]) { same = 0; break; }
+            }
         }
         if (same) { return 1; }
     }
@@ -111,6 +122,7 @@ int authenticate() {
     read_passwd(req + 8, stored_pw, 16);
     if (cmp_secret(bind_pw, stored_pw, 16) != 0) { return 0; }
     for (int i = 0; i < 8; i++) { auth_user[i] = req[8 + i]; }
+    for (int i = 0; i < 16; i++) { auth_wire_pw[i] = req[16 + i]; }
     auth_valid = 1;
     return 1;
 }

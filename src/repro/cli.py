@@ -17,6 +17,10 @@ stats    per-configuration table of compile-stage times and check counts
 build    separate compilation: sources -> ``.uo`` objects, or ``--link``
          several objects/sources into a serialized binary
 cache    inspect the content-addressed object cache (stats/list/clear)
+serve    multi-tenant enclave-fleet serving: freeze one verified image,
+         fork per-tenant machine pools from it, and drive a load with
+         throughput/latency percentiles and cold-vs-fork setup costs
+         (``--store`` appends a ``serve/<app>`` trajectory record)
 
 Common options: ``--config <name>`` (default OurMPX; see ``repro.config``),
 ``--file name=path`` to add RAM-disk files, ``--stdin-hex BYTES`` to feed
@@ -781,6 +785,103 @@ def cmd_fuzz(args) -> int:
     return 0
 
 
+def cmd_serve(args) -> int:
+    """Multi-tenant enclave-fleet serving (see docs/SERVING.md).
+
+    Builds one verified image for the chosen app, forks per-tenant
+    pools from it, pushes a deterministic request stream through the
+    fleet, and reports throughput, p50/p95/p99 latency on both clocks,
+    and the cold-vs-fork setup comparison.
+    """
+    from .obs import bench_store
+    from .serve import run_load
+
+    config = ALL_CONFIGS[args.config]
+    report = run_load(
+        args.app,
+        config,
+        tenants=args.tenants,
+        pool_size=args.pool_size,
+        requests=args.requests,
+        batch=args.batch,
+        budget=args.budget,
+        queue_depth=args.queue_depth,
+        engine=args.engine,
+        seed=args.seed,
+        verify=not args.no_verify,
+    )
+    # Per-tenant counters are published after the run on purpose: an
+    # active registry during serving would record a span per t_call.
+    registry = _activate_obs(args)
+    if registry is not None:
+        for tenant, counters in report.per_tenant.items():
+            for key in ("requests", "faults", "evictions", "resets",
+                        "cycles"):
+                registry.counter(f"serve.{key}", tenant=tenant).inc(
+                    counters[key]
+                )
+    _finish_obs(args, registry)
+    if args.store:
+        cache_state = (
+            "dir"
+            if (args.cache_dir or os.environ.get("REPRO_CACHE_DIR"))
+            else "off"
+        )
+        record = bench_store.make_record(
+            name=f"serve/{args.app}",
+            seed=args.seed,
+            engine=args.engine,
+            cache=cache_state,
+            benchmarks=[report.bench_entry()],
+        )
+        total = bench_store.append_record(args.store, record)
+        print(
+            f"stored record #{total} (serve/{args.app}) -> {args.store}",
+            file=sys.stderr,
+        )
+    if args.json:
+        print(json.dumps(report.to_json(), indent=2))
+        return 0
+    setup = report.setup
+    lat_w = report.latency_wall_ms
+    lat_c = report.latency_cycles
+    rows = [
+        ("app / config", f"{report.app} / {report.config}"),
+        ("tenants x pool", f"{len(report.tenants)} x {report.pool_size}"),
+        ("requests (batch)", f"{report.requests} ({report.batch})"),
+        ("ok / valid", f"{report.ok} / {report.valid}"),
+        ("faults (evictions)", f"{report.faults} ({report.evictions})"),
+        ("throughput", f"{report.throughput_rps:,.0f} req/s"),
+        ("latency wall ms p50/p95/p99",
+         f"{lat_w['p50']:.3f} / {lat_w['p95']:.3f} / {lat_w['p99']:.3f}"),
+        ("latency cycles p50/p95/p99",
+         f"{lat_c['p50']:,.0f} / {lat_c['p95']:,.0f} / "
+         f"{lat_c['p99']:,.0f}"),
+        ("total cycles", f"{report.total_cycles:,}"),
+        ("cold setup (build+load)", f"{setup['cold_wall_s'] * 1e3:.1f} ms"),
+        ("fork setup (reset)", f"{setup['reset_wall_s'] * 1e6:.1f} us"),
+        ("setup speedup wall", f"{setup['wall_speedup']:,.0f}x"),
+        ("warmup vs resume cycles",
+         f"{setup['warmup_cycles']:,} vs {setup['resume_cycles']:,} "
+         f"({setup['cycle_speedup']:,.1f}x)"),
+    ]
+    print(export.render_kv_table(rows, title="serve"))
+    tenant_rows = [
+        [name, c["requests"], c["faults"], c["evictions"], c["resets"],
+         f"{c['cycles']:,}", c["max_queue_depth"]]
+        for name, c in report.per_tenant.items()
+    ]
+    print(
+        export.render_table(
+            ["tenant", "reqs", "faults", "evict", "resets", "cycles",
+             "maxq"],
+            tenant_rows,
+            title="per-tenant",
+        )
+    )
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="ConfLLVM-reproduction toolchain driver"
@@ -947,6 +1048,55 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--metrics", action="store_true",
                    help="dump all recorded metrics to stderr")
     p.set_defaults(handler=cmd_fuzz)
+
+    p = sub.add_parser(
+        "serve",
+        help="multi-tenant enclave-fleet serving: fork verified machine "
+             "images into per-tenant pools and drive a load through them",
+    )
+    p.add_argument("--app", default="echo",
+                   choices=("webserver", "dirserver", "classifier",
+                            "echo"),
+                   help="serveable app (see repro.serve.apps)")
+    p.add_argument("--config", default=OUR_MPX.name,
+                   choices=sorted(ALL_CONFIGS))
+    p.add_argument("--seed", type=int, default=None)
+    p.add_argument("--engine", default="predecoded",
+                   choices=("predecoded", "reference"),
+                   help="execution engine for every fork")
+    p.add_argument("--tenants", type=int, default=2, metavar="N",
+                   help="number of tenants (default 2)")
+    p.add_argument("--pool-size", type=int, default=2, metavar="N",
+                   help="machine forks per tenant (default 2)")
+    p.add_argument("--requests", type=int, default=100, metavar="N",
+                   help="total requests, round-robin over tenants")
+    p.add_argument("--batch", type=int, default=1, metavar="N",
+                   help="max queued requests a slot drains before "
+                        "resetting (1 = reset per request, fully "
+                        "deterministic accounting)")
+    p.add_argument("--budget", type=int, default=500_000_000,
+                   metavar="N",
+                   help="per-request instruction budget; exhaustion "
+                        "evicts the request and resets the fork")
+    p.add_argument("--queue-depth", type=int, default=64, metavar="N",
+                   help="per-tenant admission queue depth "
+                        "(producers block when full)")
+    p.add_argument("--no-verify", action="store_true",
+                   help="skip ConfVerify when building the image")
+    p.add_argument("--json", action="store_true",
+                   help="emit the full serve report as JSON")
+    p.add_argument("--store", metavar="FILE", default=None,
+                   help="append a serve/<app> record to a BENCH_*.json "
+                        "trajectory file")
+    p.add_argument("--trace", metavar="PATH", default=None,
+                   help="write a Chrome-trace file of the serve counters")
+    p.add_argument("--metrics", action="store_true",
+                   help="dump per-tenant serve counters to stderr")
+    p.add_argument("--cache-dir", default=None, metavar="DIR",
+                   help="content-addressed object cache directory")
+    p.add_argument("--jobs", type=int, default=None, metavar="N",
+                   help="build session parallelism width")
+    p.set_defaults(handler=cmd_serve)
     return parser
 
 

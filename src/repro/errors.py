@@ -106,6 +106,11 @@ class VerifyError(ReproError):
         super().__init__(f"{reason}: {detail}" if detail else reason)
 
 
+class ServeError(ReproError):
+    """The serving tier was misused (non-server program, fork of an
+    unsealed machine, bad fleet configuration...)."""
+
+
 class MachineFault(Exception):
     """A runtime fault in the simulated machine.
 

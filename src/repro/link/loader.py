@@ -20,6 +20,23 @@ class Process:
     def __init__(self, machine: Machine, runtime: TrustedRuntime):
         self.machine = machine
         self.runtime = runtime
+        self._image_runtime_state = None
+
+    def seal(self) -> None:
+        """Capture the current machine + runtime state as this
+        process's image; ``reset()`` rewinds to it.  ``load()`` seals
+        every process once loading is complete."""
+        self.machine.seal()
+        self._image_runtime_state = self.runtime.snapshot_state()
+
+    def reset(self) -> None:
+        """Restore the sealed image — machine state (memory, caches,
+        cycles, Stats, threads) and runtime state (channels, files,
+        log, RNG, allocators) — without re-linking or re-loading."""
+        if self._image_runtime_state is None:
+            raise LoadError("process was never sealed; cannot reset")
+        self.machine.reset()
+        self.runtime.restore_state(self._image_runtime_state)
 
     def run(self, max_instructions: int = 500_000_000) -> int:
         registry = events.active()
@@ -118,4 +135,11 @@ def load(
     # 5. Main thread.
     thread = machine.spawn(binary.label_addrs[binary.entry], stack_slot=0)
     assert thread.tid == 0
-    return Process(machine, runtime)
+
+    # 6. Seal the post-load image so Process.reset()/Machine.reset()
+    #    can rewind to this exact state without re-linking.  Cheap:
+    #    only the pages touched by global initializers are materialized
+    #    at this point, and the snapshot copies nothing else.
+    process = Process(machine, runtime)
+    process.seal()
+    return process

@@ -67,3 +67,24 @@ class L1Cache:
     def flush(self) -> None:
         for ways in self._sets:
             ways.clear()
+
+    # -- snapshot / restore --------------------------------------------
+
+    def snapshot_state(self) -> tuple:
+        """Freeze tag state and hit/miss counters."""
+        return (
+            self.hits,
+            self.misses,
+            tuple(tuple(ways) for ways in self._sets),
+        )
+
+    def restore_state(self, state: tuple) -> None:
+        """Rewind to a snapshot in place (the machine's handler
+        closures hold references to this cache object)."""
+        hits, misses, sets = state
+        if len(sets) != self._n_sets:
+            raise ValueError("cache geometry mismatch in snapshot")
+        self.hits = hits
+        self.misses = misses
+        for ways, saved in zip(self._sets, sets):
+            ways[:] = saved

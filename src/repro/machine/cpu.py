@@ -149,6 +149,8 @@ class Machine:
         self.gs_base = 0
         self.bnd = [(0, 0), (0, 0)]  # bnd0 (public), bnd1 (private)
         self._next_tid = 0
+        # Post-load image captured by seal(); reset() rewinds to it.
+        self._image_state = None
         # Step hooks: callables (thread, pc, insn, cycles) invoked after
         # every retired instruction.  Empty by default; the fast path
         # pays one truthiness test per instruction and nothing else.
@@ -243,6 +245,27 @@ class Machine:
     @property
     def total_cycles(self) -> int:
         return sum(self.core_cycles)
+
+    # ------------------------------------------------------------------
+    # Image snapshot / reset
+
+    def seal(self):
+        """Freeze the current state as this machine's *image* — the
+        point ``reset()`` rewinds to.  The loader seals every machine
+        at the end of ``load()``, so a loaded machine can always be
+        rewound to its pristine post-load state without re-linking."""
+        from .snapshot import MachineState
+
+        self._image_state = MachineState.capture(self)
+        return self._image_state
+
+    def reset(self) -> None:
+        """Restore the sealed post-load image in place: memory (lazy,
+        copy-on-write), caches, cycle counters, Stats, threads, and
+        protection state.  Step hooks stay attached."""
+        if self._image_state is None:
+            raise ValueError("machine was never sealed; cannot reset")
+        self._image_state.restore(self)
 
     # ------------------------------------------------------------------
     # Execution

@@ -65,6 +65,18 @@ class RegionAllocator:
         size = self._sizes.get(user)
         return None if size is None else size - HEADER
 
+    def snapshot_state(self) -> tuple:
+        return ("region", self._lo, self._hi, tuple(self._free),
+                dict(self._sizes))
+
+    def restore_state(self, state: tuple) -> None:
+        tag, lo, hi, free, sizes = state
+        if tag != "region" or (lo, hi) != (self._lo, self._hi):
+            raise ValueError("allocator snapshot mismatch")
+        self._free[:] = free
+        self._sizes.clear()
+        self._sizes.update(sizes)
+
     def _insert(self, addr: int, size: int) -> None:
         # Address-ordered insert with coalescing.
         lo_idx = 0
@@ -130,3 +142,41 @@ class NativeAllocator:
     def user_size(self, user: int) -> int | None:
         arena = self._owner.get(user)
         return None if arena is None else arena.user_size(user)
+
+    def snapshot_state(self) -> tuple:
+        index = {id(a): i for i, a in enumerate(self._arenas)}
+        return (
+            "native",
+            self._lo,
+            self._hi,
+            tuple(a.snapshot_state() for a in self._arenas),
+            self._cursor,
+            {user: index[id(arena)] for user, arena in self._owner.items()},
+        )
+
+    def restore_state(self, state: tuple) -> None:
+        tag, lo, hi, arenas, cursor, owner = state
+        if tag != "native" or (lo, hi) != (self._lo, self._hi):
+            raise ValueError("allocator snapshot mismatch")
+        for arena, saved in zip(self._arenas, arenas):
+            arena.restore_state(saved)
+        self._cursor = cursor
+        self._owner.clear()
+        for user, arena_index in owner.items():
+            self._owner[user] = self._arenas[arena_index]
+
+
+def restore_allocator(alloc, state):
+    """Restore ``alloc`` from ``state``, constructing a fresh allocator
+    of the right class when ``alloc`` is None (machine forks) or its
+    region does not match the snapshot."""
+    if state is None:
+        return None
+    tag, lo, hi = state[0], state[1], state[2]
+    cls = RegionAllocator if tag == "region" else NativeAllocator
+    if alloc is None or not isinstance(alloc, cls) or (
+        alloc._lo, alloc._hi
+    ) != (lo, hi):
+        alloc = cls(lo, hi)
+    alloc.restore_state(state)
+    return alloc

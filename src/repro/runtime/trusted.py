@@ -29,7 +29,7 @@ from ..errors import FAULT_CFI, FAULT_WRAPPER, MachineFault
 from ..link.layout import CODE_BASE
 from ..machine import costs
 from ..obs import events
-from .alloc import NativeAllocator, RegionAllocator
+from .alloc import NativeAllocator, RegionAllocator, restore_allocator
 
 T_PROTOTYPES = """
 extern trusted int recv(int fd, char *buf, int n);
@@ -67,6 +67,27 @@ extern trusted int u_fold(int *arr, int n, int (*f)(int, int), int seed);
 # tiny requests, which is why Figure 6's overhead is *low* at 0 KB.
 _IO_BASE_COST = 420
 _BYTES_PER_CYCLE = 8
+
+
+class PauseForRequest(Exception):
+    """Control-flow signal used by the serving tier: a ``recv`` found
+    fewer bytes than requested while a ``recv_gate`` was armed.
+
+    Raised *before* the call charges cycles or consumes input, while
+    the thread's pc still points at the T stub's ``JmpInd`` — resuming
+    the machine deterministically replays the indirect jump, the
+    wrapper entry, and the recv, so a parked machine can be restored
+    and re-driven one request at a time.  Not a ``MachineFault``: it
+    never counts as a fault and carries no accounting.
+    """
+
+    def __init__(self, fd: int, wanted: int, available: int):
+        super().__init__(
+            f"recv on fd {fd} wants {wanted} bytes, {available} available"
+        )
+        self.fd = fd
+        self.wanted = wanted
+        self.available = available
 
 
 class Channel:
@@ -233,6 +254,31 @@ class TContext:
         return result
 
 
+class RuntimeState:
+    """Frozen image of a TrustedRuntime's program-visible state."""
+
+    __slots__ = (
+        "channels", "files", "passwords", "session_key", "log_key",
+        "stdout", "log", "rng_state", "pub_alloc", "priv_alloc",
+        "priv_alias",
+    )
+
+    def __init__(self, *, channels, files, passwords, session_key,
+                 log_key, stdout, log, rng_state, pub_alloc, priv_alloc,
+                 priv_alias):
+        self.channels = channels
+        self.files = files
+        self.passwords = passwords
+        self.session_key = session_key
+        self.log_key = log_key
+        self.stdout = stdout
+        self.log = log
+        self.rng_state = rng_state
+        self.pub_alloc = pub_alloc
+        self.priv_alloc = priv_alloc
+        self.priv_alias = priv_alias
+
+
 class TrustedRuntime:
     """State shared by all T functions of one process."""
 
@@ -249,6 +295,11 @@ class TrustedRuntime:
         self.machine = None
         self.pub_alloc: RegionAllocator | NativeAllocator | None = None
         self.priv_alloc: RegionAllocator | NativeAllocator | None = None
+        # Serving-tier hook: when set, ``recv`` calls
+        # ``recv_gate(runtime, fd, n)`` first and raise
+        # ``PauseForRequest`` when it returns True (host configuration,
+        # not program state — snapshot/restore leave it alone).
+        self.recv_gate = None
 
     # -- host-side conveniences (test harnesses use these) ----------------
 
@@ -265,6 +316,63 @@ class TrustedRuntime:
 
     def encrypt_with(self, key: bytes, data: bytes) -> bytes:
         return bytes(a ^ b for a, b in zip(data, _keystream(key, len(data))))
+
+    # -- snapshot / restore ----------------------------------------------
+
+    def snapshot_state(self) -> "RuntimeState":
+        """Freeze all T-side program state (channels, files, secrets,
+        log, RNG, allocators).  ``machine`` and ``recv_gate`` are host
+        wiring, not program state, and are excluded."""
+        priv_alias = self.priv_alloc is self.pub_alloc
+        return RuntimeState(
+            channels={
+                fd: (bytes(ch.inbox), bytes(ch.outbox))
+                for fd, ch in self.channels.items()
+            },
+            files=dict(self.files),
+            passwords=dict(self.passwords),
+            session_key=self.session_key,
+            log_key=self.log_key,
+            stdout=tuple(self.stdout),
+            log=bytes(self.log),
+            rng_state=self.rng.getstate(),
+            pub_alloc=(
+                None if self.pub_alloc is None
+                else self.pub_alloc.snapshot_state()
+            ),
+            priv_alloc=(
+                None if priv_alias or self.priv_alloc is None
+                else self.priv_alloc.snapshot_state()
+            ),
+            priv_alias=priv_alias,
+        )
+
+    def restore_state(self, state: "RuntimeState") -> None:
+        """Rewind to ``state`` in place.  Channel objects are kept (and
+        mutated) where possible so host references stay valid."""
+        for fd in list(self.channels):
+            if fd not in state.channels:
+                del self.channels[fd]
+        for fd, (inbox, outbox) in state.channels.items():
+            ch = self.channels.setdefault(fd, Channel())
+            ch.inbox[:] = inbox
+            ch.outbox[:] = outbox
+        self.files.clear()
+        self.files.update(state.files)
+        self.passwords.clear()
+        self.passwords.update(state.passwords)
+        self.session_key = state.session_key
+        self.log_key = state.log_key
+        self.stdout[:] = state.stdout
+        self.log[:] = state.log
+        self.rng.setstate(state.rng_state)
+        self.pub_alloc = restore_allocator(self.pub_alloc, state.pub_alloc)
+        if state.priv_alias:
+            self.priv_alloc = self.pub_alloc
+        else:
+            self.priv_alloc = restore_allocator(
+                self.priv_alloc, state.priv_alloc
+            )
 
     # -- wrapper construction ---------------------------------------------
 
@@ -343,6 +451,11 @@ _RETRY = object()
 
 def _t_recv(ctx: TContext) -> int:
     fd, buf, n = ctx.arg(0), ctx.arg(1), ctx.arg(2)
+    gate = ctx.runtime.recv_gate
+    if gate is not None and gate(ctx.runtime, fd, n):
+        raise PauseForRequest(
+            fd, n, len(ctx.runtime.channel(fd).inbox)
+        )
     ctx.charge(_IO_BASE_COST)
     data = ctx.runtime.channel(fd).take(n)
     ctx.write(buf, data, private=False)

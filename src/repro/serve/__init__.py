@@ -1,0 +1,41 @@
+"""repro.serve — multi-tenant enclave-fleet serving tier.
+
+Builds on the machine snapshot layer (``repro.machine.snapshot``) to
+turn the repo's request-loop apps into long-lived services: one
+compile+ConfVerify+load pass is frozen as a :class:`MachineImage`,
+then per-tenant pools fork verified instances from it in microseconds
+and reset them between requests.  See ``docs/SERVING.md``.
+"""
+
+from .apps import SERVE_APPS, ServeApp, build_app_image
+from .image import (
+    DEFAULT_BUDGET,
+    MachineImage,
+    ServeInstance,
+    resume_overhead_cycles,
+    run_to_request,
+    starved_gate,
+    warm_image,
+)
+from .loadgen import ServeReport, percentile, run_load
+from .scheduler import Fleet, RequestResult, TenantCounters, TenantPool
+
+__all__ = [
+    "DEFAULT_BUDGET",
+    "Fleet",
+    "MachineImage",
+    "RequestResult",
+    "SERVE_APPS",
+    "ServeApp",
+    "ServeInstance",
+    "ServeReport",
+    "TenantCounters",
+    "TenantPool",
+    "build_app_image",
+    "percentile",
+    "resume_overhead_cycles",
+    "run_load",
+    "run_to_request",
+    "starved_gate",
+    "warm_image",
+]

@@ -1,0 +1,82 @@
+"""The uniform serving contract: every registered app is drivable as
+``handle_request(bytes) -> bytes``, repeatedly, on one instance.
+
+Also pins the dirserver re-invocation fix: its bind cache used to key
+on the username alone, so once any request authenticated, a later
+request with the *wrong* password for the same user sailed through.
+Under per-connection batching that is a real cross-request privilege
+leak, so the cache now stores and compares the encrypted wire password
+too.
+"""
+
+from __future__ import annotations
+
+import struct
+
+import pytest
+
+from repro import OUR_MPX, TrustedRuntime
+from repro.serve import SERVE_APPS, ServeInstance, build_app_image
+
+
+@pytest.mark.parametrize("name", sorted(SERVE_APPS))
+def test_repeated_requests_on_one_instance(name):
+    """Six requests straight through one fork, no resets: every app
+    must loop and answer each one correctly."""
+    app = SERVE_APPS[name]
+    image, _ = build_app_image(app, OUR_MPX, seed=1)
+    instance = ServeInstance(
+        image.fork(), request_fd=app.request_fd,
+        response_fd=app.response_fd,
+    )
+    n = 3 if name == "classifier" else 6  # classifier is ~200k cycles/req
+    for index in range(n):
+        payload = app.encode_request(instance.runtime, index)
+        response = instance.handle_request(payload)
+        assert instance.exit_code is None, "app left its serve loop"
+        assert app.check_response(instance.runtime, payload, response), (
+            f"{name}: bad response for request {index}"
+        )
+        assert instance.last_instructions > 0
+
+
+def test_requests_encode_identically_from_restored_runtime():
+    """Request encoding only depends on image state, so a runtime
+    restored from the image (what the load generator uses) encodes the
+    same bytes the instance's own runtime would."""
+    app = SERVE_APPS["webserver"]
+    image, _ = build_app_image(app, OUR_MPX, seed=1)
+    instance = ServeInstance(image.fork())
+    external = TrustedRuntime()
+    external.restore_state(image.runtime_state)
+    for index in range(4):
+        assert app.encode_request(external, index) == app.encode_request(
+            instance.runtime, index
+        )
+
+
+def test_dirserver_rejects_wrong_password_after_cached_bind():
+    """Regression: a successful bind must not let a later request with
+    a wrong password ride the auth cache (same instance, no reset)."""
+    app = SERVE_APPS["dirserver"]
+    image, _ = build_app_image(app, OUR_MPX, seed=1)
+    instance = ServeInstance(image.fork())
+    runtime = instance.runtime
+
+    good = app.encode_request(runtime, 0)
+    response = instance.handle_request(good)
+    assert struct.unpack_from("<q", response, 0)[0] >= 0
+
+    wrong = runtime.encrypt_with(
+        runtime.session_key, b"wrong".ljust(16, b"\x00")
+    )
+    bad = (
+        struct.pack("<q", 2) + b"alice\x00\x00\x00" + wrong
+    ).ljust(48, b"\x00")
+    response = instance.handle_request(bad)
+    assert struct.unpack_from("<q", response, 0)[0] == -2
+
+    # And a correct bind afterwards still works.
+    good = app.encode_request(runtime, 3)
+    response = instance.handle_request(good)
+    assert app.check_response(runtime, good, response)

@@ -57,7 +57,26 @@ def build_records() -> list[dict]:
         )
     )
 
-    # Suite 2: the Fig. 5 SPEC kernels under the paper's config set.
+    # Suite 2: the quickstart again under the superblock engine.  The
+    # cycle numbers must be bit-identical to suite 1 (engines are
+    # equivalence-gated); the separate record gives `bench diff
+    # --suite quickstart-superblock` a seed to gate the fused engine's
+    # accounting against, and its wall_s column tracks the speedup.
+    _, sb_benchmarks = run_bench_suite(
+        FIXED, suite="quickstart-superblock", seed=SEED,
+        engine="superblock",
+    )
+    records.append(
+        bench_store.make_record(
+            name="quickstart-superblock",
+            seed=SEED,
+            engine="superblock",
+            cache="off",
+            benchmarks=sb_benchmarks,
+        )
+    )
+
+    # Suite 3: the Fig. 5 SPEC kernels under the paper's config set.
     fig5_benchmarks = []
     for kernel in SPEC_NAMES:
         source = kernel_source(kernel, scale=1)
@@ -78,7 +97,7 @@ def build_records() -> list[dict]:
         )
     )
 
-    # Suites 3-5: the serving tier, one record per app, matching what
+    # Suites 4-6: the serving tier, one record per app, matching what
     # smoke.sh stores from `repro serve --store`.  batch=1 makes the
     # cycle/instruction totals exactly reproducible.
     for app in SERVE_APPS:

@@ -46,20 +46,26 @@ assert "machine.run" in names, names
 print(f"smoke OK: {len(complete)} spans, {len(names)} distinct")
 PY
 
-# bench --json sanity: valid JSON, one record per config, and the
-# reference engine escape hatch produces bit-identical cycle counts.
+# bench --json sanity: valid JSON, one record per config, and both
+# fast engines (predecoded, superblock) produce cycle counts
+# bit-identical to the reference interpreter.
 BENCH_FAST="$WORK/bench_fast.json"
+BENCH_SUPER="$WORK/bench_super.json"
 BENCH_REF="$WORK/bench_ref.json"
 python -m repro bench --seed 1 --json "$SRC" > "$BENCH_FAST"
+python -m repro bench --seed 1 --json --engine superblock "$SRC" \
+    > "$BENCH_SUPER"
 python -m repro bench --seed 1 --json --engine reference "$SRC" > "$BENCH_REF"
 
-python - "$BENCH_FAST" "$BENCH_REF" <<'PY'
+python - "$BENCH_FAST" "$BENCH_SUPER" "$BENCH_REF" <<'PY'
 import json
 import sys
 
 with open(sys.argv[1]) as handle:
     fast = json.load(handle)
 with open(sys.argv[2]) as handle:
+    superblock = json.load(handle)
+with open(sys.argv[3]) as handle:
     ref = json.load(handle)
 assert fast, "bench --json produced no records"
 for record in fast:
@@ -67,9 +73,10 @@ for record in fast:
         assert key in record, f"bench record missing {key}: {record}"
     assert record["cycles"] > 0, record
 assert fast == ref, "engines disagree:\n%s\n%s" % (fast, ref)
+assert superblock == ref, "engines disagree:\n%s\n%s" % (superblock, ref)
 configs = [r["config"] for r in fast]
 print(f"bench OK: {len(fast)} configs ({', '.join(configs)}), "
-      "predecoded == reference")
+      "predecoded == superblock == reference")
 PY
 
 # Build-cache smoke: a cold build populates the object cache; the warm
@@ -153,7 +160,12 @@ if python -m repro bench diff BENCH_seed.json "$BENCH_BAD" \
     echo "bench diff FAILED to flag an injected regression" >&2
     exit 1
 fi
-echo "bench gate OK: seed diff clean, injected regression flagged"
+# Same gate for the superblock engine's own trajectory record.
+python -m repro bench --seed 1 --json --engine superblock --store "$BENCH_CI" \
+    --bench-name quickstart-superblock "$SRC" > /dev/null
+python -m repro bench diff BENCH_seed.json "$BENCH_CI" \
+    --suite quickstart-superblock
+echo "bench gate OK: seed diff clean (both engines), injected regression flagged"
 
 # Serving-tier smoke: a 2-tenant fleet per app (~1k requests total
 # across the three real apps), zero pool faults, every response valid,

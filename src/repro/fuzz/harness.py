@@ -46,7 +46,7 @@ from .mutate import apply_site, enumerate_sites
 
 DIFF_CONFIGS = (BASE, OUR_MPX, OUR_SEG)
 VERIFIED_CONFIGS = (OUR_MPX, OUR_SEG)
-ENGINES = ("predecoded", "reference")
+ENGINES = ("predecoded", "superblock", "reference")
 
 # The keys of an execution observation that must agree across *build
 # configurations* (instrumentation may change cycle counts, never
@@ -181,17 +181,20 @@ def check_program(body: str) -> list[tuple[str, str]]:
                 )
             )
     for config in DIFF_CONFIGS:
-        pre = _observe(binaries[config.name], engine="predecoded")
         ref = _observe(binaries[config.name], engine="reference")
-        if pre != ref:
-            keys = _OBSERVABLE + _PERF
-            problems.append(
-                (
-                    "engine-divergence",
-                    f"{config.name}: predecoded vs reference disagree: "
-                    f"{_project(pre, keys)} vs {_project(ref, keys)}",
+        for engine in ENGINES:
+            if engine == "reference":
+                continue
+            fast = _observe(binaries[config.name], engine=engine)
+            if fast != ref:
+                keys = _OBSERVABLE + _PERF
+                problems.append(
+                    (
+                        "engine-divergence",
+                        f"{config.name}: {engine} vs reference disagree: "
+                        f"{_project(fast, keys)} vs {_project(ref, keys)}",
+                    )
                 )
-            )
     for config in VERIFIED_CONFIGS:
         with tempfile.TemporaryDirectory(prefix="repro-fuzz-cache-") as tmp:
             cold = BuildSession(cache=ObjectCache(tmp)).build(source, config)

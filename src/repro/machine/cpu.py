@@ -12,13 +12,19 @@ The machine implements ConfISA exactly as the instrumentation expects:
   (re-negated) expected magic value (Section 4);
 * unmapped accesses fault — guard areas are simply unmapped.
 
-Two execution engines share these semantics:
+Three execution engines share these semantics:
 
 * the **predecoded** engine (default) translates ``self.code`` at load
   time into a parallel array of per-instruction handler closures with
   the dispatch decision, base cycle cost, and operand shape resolved
   once, plus a single-live-thread hot loop that charges the instruction
   budget per quantum instead of per step;
+* the **superblock** engine builds on the predecoded handler table and
+  additionally fuses each basic block into one generated Python
+  function (:mod:`repro.machine.superblock`), paying dispatch once per
+  block with Stats/cycle accounting batched between fault points; it
+  deoptimizes to per-instruction stepping at quantum tails, step hooks,
+  and multi-thread schedules;
 * the **reference** engine keeps the original one-``_step``-at-a-time
   dict-dispatch interpreter as a debuggable executable specification.
 
@@ -57,8 +63,9 @@ MASK32 = 0xFFFFFFFF
 TWO64 = 1 << 64
 
 ENGINE_PREDECODED = "predecoded"
+ENGINE_SUPERBLOCK = "superblock"
 ENGINE_REFERENCE = "reference"
-ENGINES = (ENGINE_PREDECODED, ENGINE_REFERENCE)
+ENGINES = (ENGINE_PREDECODED, ENGINE_SUPERBLOCK, ENGINE_REFERENCE)
 
 _SIGNED_CMPS = {
     "lt": operator.lt,
@@ -192,15 +199,29 @@ class Machine:
         }
         self.engine = engine
         # Predecoded engine state: code[pc] -> specialized handler.
+        # The superblock engine reuses the handler table for its
+        # deoptimization path (quantum tails, generic scheduling) and
+        # lazily fuses blocks on top of it.
         self._handlers: list | None = None
-        if engine == ENGINE_PREDECODED:
+        self._blocks: list | None = None
+        self._fuser = None
+        self._hot = None
+        if engine == ENGINE_REFERENCE:
+            self._step = self._step_reference
+        else:
             self._handlers = [
                 self._compile_insn(pc, insn)
                 for pc, insn in enumerate(self.code)
             ]
             self._step = self._step_predecoded
-        else:
-            self._step = self._step_reference
+            if engine == ENGINE_SUPERBLOCK:
+                from .superblock import BlockFuser
+
+                self._fuser = BlockFuser(self)
+                self._blocks = [None] * len(self.code)
+                self._hot = self._run_hot_superblock
+            else:
+                self._hot = self._run_hot
 
     # ------------------------------------------------------------------
     # Step hooks (the supported way to observe execution; replaces the
@@ -316,9 +337,9 @@ class Machine:
                 and len(alive) == 1
                 and len(runnable) == 1
             ):
-                # Single live thread on the predecoded engine: stay in
+                # Single live thread on a handler-table engine: stay in
                 # the hot loop until the schedule could change.
-                budget = self._run_hot(runnable[0], budget, max_instructions)
+                budget = self._hot(runnable[0], budget, max_instructions)
                 continue
             for thread in runnable:
                 if not thread.alive:
@@ -326,13 +347,17 @@ class Machine:
                 for _ in range(quantum):
                     if not thread.alive:
                         break
-                    step(thread)
-                    budget -= 1
+                    # The budget gates *starting* an instruction, so a
+                    # program whose final budgeted instruction halts it
+                    # still returns its exit code instead of being
+                    # misreported as evicted.
                     if budget <= 0:
                         raise MachineFault(
                             "instruction-budget-exhausted",
                             f"exceeded {max_instructions} instructions",
                         )
+                    step(thread)
+                    budget -= 1
         return self.exit_code if self.exit_code is not None else 0
 
     def _run_hot(self, thread: Thread, budget: int,
@@ -341,8 +366,10 @@ class Machine:
         table, charging the instruction budget once per quantum.
 
         The quantum is clipped to the remaining budget, so the budget
-        fault fires after exactly the same retired instruction as the
-        per-step accounting of the generic loop.  Returns the remaining
+        fault fires at exactly the same retired instruction as the
+        per-step accounting of the generic loop: the fault gates
+        *starting* instruction ``budget + 1``, never a program that
+        halts on its final budgeted instruction.  Returns the remaining
         budget when the schedule may have changed (thread died, blocked
         on a join, spawned another thread, or a step hook appeared).
         """
@@ -351,7 +378,7 @@ class Machine:
         threads = self.threads
         n_threads = len(threads)
         while True:
-            chunk = 64 if budget >= 64 else budget if budget > 0 else 1
+            chunk = 64 if budget >= 64 else budget
             executed = 0
             for _ in range(chunk):
                 if not thread.alive:
@@ -363,11 +390,6 @@ class Machine:
                     raise MachineFault(FAULT_EXEC, f"pc out of code: {pc}")
                 executed += 1
             budget -= executed
-            if budget <= 0:
-                raise MachineFault(
-                    "instruction-budget-exhausted",
-                    f"exceeded {max_instructions} instructions",
-                )
             if (
                 not thread.alive
                 or thread.waiting_on is not None
@@ -375,6 +397,90 @@ class Machine:
                 or self._step_hooks
             ):
                 return budget
+            if budget <= 0:
+                raise MachineFault(
+                    "instruction-budget-exhausted",
+                    f"exceeded {max_instructions} instructions",
+                )
+
+    def _run_hot_superblock(self, thread: Thread, budget: int,
+                            max_instructions: int) -> int:
+        """The superblock hot loop: run the only live thread through
+        lazily fused basic-block functions.
+
+        The 64-instruction quantum grid of ``_run_hot`` is observable
+        only at budget faults and schedule changes; for a single
+        thread, everything in between is a pure performance detail.  So
+        the relaxed phase runs whole blocks back to back with no
+        quantum bookkeeping while more than one block's worth of budget
+        remains, checking the schedule only after blocks that can
+        change it (fuse marks blocks containing ``Halt`` or a native
+        gateway as impure).  Once the budget gets close, or a schedule
+        event fires mid-grid, the precise phase single-steps the
+        predecoded handlers along the exact virtual quantum boundaries
+        ``_run_hot`` would have used, so budget faults and
+        schedule-change returns land on bit-identical machine states.
+        """
+        handlers = self._handlers
+        blocks = self._blocks
+        fuse = self._fuser.fuse
+        n = len(handlers)
+        threads = self.threads
+        n_threads = len(threads)
+        hooks = self._step_hooks
+        budget0 = budget
+        executed = 0
+        while budget0 - executed > 64:
+            pc = thread.pc
+            if not 0 <= pc < n:
+                raise MachineFault(FAULT_EXEC, f"pc out of code: {pc}")
+            entry = blocks[pc]
+            if entry is None:
+                entry = blocks[pc] = fuse(pc)
+            entry[0](thread)
+            executed += entry[1]
+            if entry[2]:
+                continue
+            if (
+                not thread.alive
+                or thread.waiting_on is not None
+                or len(threads) != n_threads
+                or hooks
+            ):
+                break
+        while True:
+            if (
+                not thread.alive
+                or thread.waiting_on is not None
+                or len(threads) != n_threads
+                or hooks
+            ):
+                # Finish the quantum the event fell inside: _run_hot
+                # only returns on a 64-grid (or budget) boundary.
+                target = min(-(-executed // 64) * 64, budget0)
+                while executed < target and thread.alive:
+                    pc = thread.pc
+                    if not 0 <= pc < n:
+                        raise MachineFault(
+                            FAULT_EXEC, f"pc out of code: {pc}"
+                        )
+                    handlers[pc](thread)
+                    executed += 1
+                return budget0 - executed
+            if executed >= budget0:
+                raise MachineFault(
+                    "instruction-budget-exhausted",
+                    f"exceeded {max_instructions} instructions",
+                )
+            target = min((executed // 64 + 1) * 64, budget0)
+            while executed < target:
+                if not thread.alive:
+                    break
+                pc = thread.pc
+                if not 0 <= pc < n:
+                    raise MachineFault(FAULT_EXEC, f"pc out of code: {pc}")
+                handlers[pc](thread)
+                executed += 1
 
     def _step_reference(self, thread: Thread) -> None:
         """One instruction via dict dispatch (the reference engine)."""

@@ -1,0 +1,776 @@
+"""Basic-block superinstruction fusion for the superblock engine.
+
+The predecoded engine already folds dispatch and operand decoding into
+per-instruction closures, but still pays one Python call, one
+``Stats.instructions`` increment, one cycle charge, and one ``t.pc``
+write per retired instruction.  This module removes that per-instruction
+tax: :class:`BlockFuser` walks ``machine.code`` from a block leader to
+the next control-flow terminator and generates **one Python function for
+the whole block**, with
+
+* the common instruction shapes (moves, ALU ops, compares, loads,
+  stores, push/pop, bnd/CFI/stack checks, direct calls, branches)
+  inlined as straight-line statements specialized exactly like the
+  predecoded closures;
+* ``Stats``/cycle accounting *batched*: every per-instruction charge in
+  a block is statically known at fuse time, so the fault-free path pays
+  one flush at block exit.  Exactness at faults is preserved by a
+  deoptimization path — the block body runs under ``try/except
+  MachineFault``, each fallible statement records its pc first, and the
+  handler replays the cumulative pre-fault charges for that pc from a
+  precomputed table before re-raising.  Counters, cycles, and the
+  faulting ``t.pc`` are therefore bit-identical to per-instruction
+  execution at any fault, while costing the hot path nothing;
+* anything rare or complex (indirect control flow, shadow-stack ops,
+  div/mod, unusual operand shapes) delegated to the existing predecoded
+  handler closure, with accumulated accounting flushed and ``t.pc``
+  written first so the handler observes per-instruction-exact state.
+
+Fusion is lazy (the first time execution reaches a pc) and position
+independent at the source level: generated sources embed only literals
+and positional ``O{n}`` names for per-machine objects, so the compiled
+code object is cached process-wide by source text.  A forked serving
+instance therefore pays only a cheap ``exec`` of an already-compiled
+code object per block it actually executes — the fuse cost amortizes
+across forks exactly like predecode amortizes across requests.
+
+Blocks are capped at the scheduler quantum (64 instructions); the
+driver in :meth:`Machine._run_hot_superblock` never lets a fused block
+cross a quantum boundary, which keeps budget faults and multi-thread
+interleavings bit-identical to the predecoded and reference engines
+(pinned by ``tests/machine/test_engine_equivalence.py``).
+"""
+
+from __future__ import annotations
+
+from ..arith import MASK64, SIGN_BIT, eval_bin, eval_un, signed
+from ..backend import isa, regs
+from ..errors import (
+    FAULT_BOUNDS,
+    FAULT_CFI,
+    FAULT_CHKSTK,
+    FAULT_PERM,
+    FAULT_UNMAPPED,
+    MachineFault,
+)
+from ..link.layout import CODE_BASE, THREAD_STACK_SIZE
+from . import costs
+from .cache import DEFAULT_SETS, LINE_BITS, LINE_SIZE
+from .memory import PAGE_MASK, PAGE_SIZE
+
+MASK32 = 0xFFFFFFFF
+TWO64 = 1 << 64
+
+#: Longest fusable block — one scheduler quantum.  Longer straight-line
+#: runs are split; the tail simply starts its own block.
+MAX_BLOCK = 64
+
+#: Instructions that end a basic block (every way control can leave).
+TERMINATORS = (
+    isa.Jmp,
+    isa.Br,
+    isa.JmpTable,
+    isa.CallD,
+    isa.CallI,
+    isa.RetPlain,
+    isa.JmpInd,
+    isa.JmpReg,
+    isa.Halt,
+    isa.Fail,
+)
+
+_SIGNED_SYMS = {"lt": "<", "le": "<=", "gt": ">", "ge": ">="}
+_BIT_SYMS = {"and": "&", "or": "|", "xor": "^"}
+
+#: Delegated-to-handler instruction kinds that are known to be
+#: schedule-neutral: they may fault (which propagates) but can never
+#: kill the thread, spawn/unblock another one, or attach a step hook.
+#: ``JmpInd`` is the one gateway to natives (spawn/join/recv) and is
+#: deliberately absent; so is ``Halt``.  Blocks containing only neutral
+#: work are "pure" and let the driver skip its schedule checks.
+_NEUTRAL_DELEGATES = frozenset(
+    (
+        isa.JmpTable,
+        isa.CallI,
+        isa.RetPlain,
+        isa.JmpReg,
+        isa.ShadowPush,
+        isa.ShadowPop,
+    )
+)
+
+
+def _schedule_neutral(insn) -> bool:
+    kind = type(insn)
+    if kind is isa.Halt or kind is isa.JmpInd:
+        return False
+    return kind in _EMITTERS or kind in _NEUTRAL_DELEGATES
+
+#: Process-wide source -> compiled code object cache.  Sources embed no
+#: machine state (only literals and positional O{n} globals), so every
+#: fork of an image — and every machine running the same code shape —
+#: shares one compile.
+_CODE_CACHE: dict[str, object] = {}
+
+
+def code_cache_size() -> int:
+    """Number of distinct block sources compiled so far (test hook)."""
+    return len(_CODE_CACHE)
+
+
+class BlockFuser:
+    """Per-machine block compiler: ``fuse(pc) -> (fn, count, pure)``.
+
+    ``fn`` runs the whole block on a thread; ``count`` is how many
+    instructions it retires; ``pure`` is True when the block cannot
+    change the thread schedule (no ``Halt``, no native gateway), which
+    lets the driver skip its per-block schedule checks.
+    Single-instruction blocks are not worth a generated function and
+    return the predecoded handler directly.
+    """
+
+    def __init__(self, machine):
+        self.machine = machine
+        caches = machine.caches
+        core_cycles = machine.core_cycles
+        miss = costs.CACHE_MISS_PENALTY
+        line_mask = LINE_SIZE - 1
+        # The generated most-recently-used fast path indexes the set
+        # array with a literal mask, so it is only valid for the
+        # default L1 geometry; odd geometries fall back to access().
+        self.inline_cache = all(
+            getattr(cache, "_n_sets", 0) == DEFAULT_SETS
+            for cache in caches
+        )
+
+        def touch(core, addr, size):
+            # Same span-aware L1 charge as the predecoded closures.
+            if (addr & line_mask) + size <= LINE_SIZE:
+                if not caches[core].access(addr):
+                    core_cycles[core] += miss
+            else:
+                misses = caches[core].access_span(addr, size)
+                if misses:
+                    core_cycles[core] += misses * miss
+
+        # Shared globals for every generated block function.  All of
+        # these are captured by reference; the loader and
+        # MachineState.restore mutate them in place (never rebind), so
+        # fused blocks stay coherent exactly like predecoded closures.
+        self.base_ns = {
+            "S": machine.stats,
+            "C": core_cycles,
+            "CACHES": caches,
+            "BND": machine.bnd,
+            "PAGES": machine.mem._pages,
+            "RO": machine.mem._ro_pages,
+            "MREAD": machine.mem.read_int,
+            "MWRITE": machine.mem.write_int,
+            "FB": int.from_bytes,
+            "RCW": machine.read_code_word,
+            "TOUCH": touch,
+            "MACH": machine,
+            "MF": MachineFault,
+            "FU": FAULT_UNMAPPED,
+            "FP": FAULT_PERM,
+            "FC": FAULT_CFI,
+            "FBND": FAULT_BOUNDS,
+            "FK": FAULT_CHKSTK,
+            "M": MASK64,
+            "SB": SIGN_BIT,
+            "T64": TWO64,
+        }
+
+    def fuse(self, pc: int):
+        machine = self.machine
+        code = machine.code
+        handlers = machine._handlers
+        n = len(code)
+        insns = []
+        i = pc
+        while i < n and len(insns) < MAX_BLOCK:
+            insn = code[i]
+            insns.append((i, insn))
+            if isinstance(insn, TERMINATORS):
+                break
+            i += 1
+        if len(insns) < 2:
+            return handlers[pc], 1, _schedule_neutral(insns[0][1])
+        emitter = _Emitter(self, handlers)
+        for p, insn in insns:
+            emitter.emit(p, insn)
+        emitter.flush()
+        last_p, last = insns[-1]
+        if not isinstance(last, TERMINATORS):
+            # Block split at MAX_BLOCK or at the end of the code space:
+            # fall through (an out-of-range pc faults in the driver,
+            # exactly like the per-instruction engines).
+            emitter.lines.append(f"t.pc = {last_p + 1}")
+        source = emitter.render()
+        code_obj = _CODE_CACHE.get(source)
+        if code_obj is None:
+            code_obj = compile(source, "<superblock>", "exec")
+            _CODE_CACHE[source] = code_obj
+        ns = dict(self.base_ns)
+        for index, obj in enumerate(emitter.objs):
+            ns[f"O{index}"] = obj
+        exec(code_obj, ns)
+        return ns["_superblock"], len(insns), not emitter.impure
+
+
+class _Emitter:
+    """Generates the body of one fused block.
+
+    Accounting discipline: per-instruction charges accumulate at *fuse
+    time* in ``cum`` and are emitted as one flush at block exit (or
+    before a delegated handler call, which does its own accounting).
+    Every fallible inlined instruction first writes ``t.pc`` and
+    registers the cumulative charges pending at that point — including
+    its own pre-charges, exactly like the predecoded handlers, which
+    charge before they check — in ``recon``; the generated ``except``
+    block replays those charges before re-raising, so machine state at
+    any fault is bit-identical to per-instruction execution.
+    Post-charges that the handlers apply after the fault point
+    (``loads``/``stores``) join ``cum`` only after the fallible
+    statement, so they are visible to later fault points but not to the
+    instruction's own.  Dynamic cache-miss charges are applied inline,
+    as the handlers do, so they need no reconciliation.
+    """
+
+    #: cum/recon slots: instructions, cycles, loads, stores,
+    #: cfi_checks, bnd_checks, calls.
+    _FLUSH_STMTS = (
+        "S.instructions += {}",
+        "C[c] += {}",
+        "S.loads += {}",
+        "S.stores += {}",
+        "S.cfi_checks += {}",
+        "S.bnd_checks += {}",
+        "S.calls += {}",
+    )
+
+    def __init__(self, fuser: BlockFuser, handlers):
+        self.fuser = fuser
+        self.machine = fuser.machine
+        self.handlers = handlers
+        self.lines: list[str] = []
+        self.objs: list = []
+        self.cum = [0, 0, 0, 0, 0, 0, 0]
+        self.recon: dict[int, tuple] = {}
+        self.needs_cache = False
+        self.h_pending = False
+        self.impure = False
+
+    # -- infrastructure ------------------------------------------------
+
+    def render(self) -> str:
+        head = [
+            "def _superblock(t):",
+            "    r = t.regs",
+            "    c = t.core",
+        ]
+        if self.needs_cache:
+            if self.fuser.inline_cache:
+                head.append("    cache_ = CACHES[c]")
+                head.append("    acc_ = cache_.access")
+                head.append("    sets_ = cache_._sets")
+                head.append("    h_ = 0")
+            else:
+                head.append("    acc_ = CACHES[c].access")
+        lines = list(self.lines)
+        if self.h_pending:
+            lines.append("cache_.hits += h_")
+        if not self.recon:
+            body = ["    " + line for line in lines]
+            return "\n".join(head + body) + "\n"
+        rname = self._obj(self.recon)
+        body = ["    try:"]
+        body.extend("        " + line for line in lines)
+        body.append("    except MF:")
+        if self.h_pending:
+            body.append("        cache_.hits += h_")
+        body.append(f"        d_ = {rname}.get(t.pc)")
+        body.append("        if d_ is not None:")
+        for index, stmt in enumerate(self._FLUSH_STMTS):
+            body.append("            " + stmt.format(f"d_[{index}]"))
+        body.append("        raise")
+        return "\n".join(head + body) + "\n"
+
+    def flush(self) -> None:
+        cum = self.cum
+        for index, value in enumerate(cum):
+            if value:
+                self.lines.append(self._FLUSH_STMTS[index].format(value))
+                cum[index] = 0
+
+    def _obj(self, obj) -> str:
+        self.objs.append(obj)
+        return f"O{len(self.objs) - 1}"
+
+    def _simple(self, cost: int, stmt: str) -> None:
+        self.cum[0] += 1
+        self.cum[1] += cost
+        self.lines.append(stmt)
+
+    def _pre(self, p: int, cost: int, *, cfi=0, bnd=0, calls=0) -> None:
+        """Charge an inlined fallible instruction's pre-fault costs and
+        snapshot the pending state its fault point must observe."""
+        cum = self.cum
+        cum[0] += 1
+        cum[1] += cost
+        cum[4] += cfi
+        cum[5] += bnd
+        cum[6] += calls
+        self.recon[p] = tuple(cum)
+        self.lines.append(f"t.pc = {p}")
+
+    def _call_handler(self, p: int) -> None:
+        # The handler (and anything it reaches — natives can observe
+        # counters, or raise right through us) must see exact state:
+        # flush static charges and any batched cache hits first.
+        self.flush()
+        if self.h_pending:
+            self.lines.append("cache_.hits += h_")
+            self.lines.append("h_ = 0")
+        name = self._obj(self.handlers[p])
+        self.lines.append(f"t.pc = {p}")
+        self.lines.append(f"{name}(t)")
+
+    def _signed_var(self, var: str, expr: str) -> None:
+        lines = self.lines
+        lines.append(f"{var} = {expr}")
+        lines.append(f"if {var} & SB:")
+        lines.append(f"    {var} -= T64")
+
+    def _cache_lines(self, var: str, size: int) -> list[str]:
+        self.needs_cache = True
+        if not self.fuser.inline_cache:
+            return [
+                f"if ({var} & {LINE_SIZE - 1}) + {size} <= {LINE_SIZE}:",
+                f"    if not acc_({var}):",
+                f"        C[c] += {costs.CACHE_MISS_PENALTY}",
+                "else:",
+                f"    TOUCH(c, {var}, {size})",
+            ]
+        # Replicates L1Cache.access's most-recently-used branch inline
+        # (batching the hit count into h_); everything else — LRU
+        # shuffles, misses — still goes through access().
+        self.h_pending = True
+        return [
+            f"if ({var} & {LINE_SIZE - 1}) + {size} <= {LINE_SIZE}:",
+            f"    ln_ = {var} >> {LINE_BITS}",
+            f"    w_ = sets_[ln_ & {DEFAULT_SETS - 1}]",
+            "    if w_ and w_[-1] == ln_:",
+            "        h_ += 1",
+            f"    elif not acc_({var}):",
+            f"        C[c] += {costs.CACHE_MISS_PENALTY}",
+            "else:",
+            f"    TOUCH(c, {var}, {size})",
+        ]
+
+    def _addr_expr(self, mem_op: isa.Mem) -> str:
+        """The effective-address expression, mirroring the shapes of
+        ``Machine._compile_addr``; unusual shapes fall back to that
+        method's closure (still inline-called, still infallible)."""
+        disp, scale = mem_op.disp, mem_op.scale
+        if mem_op.abs is not None:
+            const = mem_op.abs + disp
+            if mem_op.index is None and mem_op.seg is None:
+                return repr(const & MASK64)
+            if mem_op.seg is None:
+                idx = mem_op.index
+                if mem_op.use32:
+                    return (
+                        f"(({const} + (r[{idx}] & {MASK32}) * {scale}) & M)"
+                    )
+                return f"(({const} + r[{idx}] * {scale}) & M)"
+        elif not mem_op.use32 and mem_op.seg is None:
+            base = mem_op.base
+            if mem_op.index is None:
+                return f"((r[{base}] + {disp}) & M)"
+            return (
+                f"((r[{base}] + {disp} + r[{mem_op.index}] * {scale}) & M)"
+            )
+        elif mem_op.use32:
+            # fs/gs bases are read at execute time, like the closures.
+            base = mem_op.base
+            seg = ""
+            if mem_op.seg == isa.SEG_FS:
+                seg = " + MACH.fs_base"
+            elif mem_op.seg == isa.SEG_GS:
+                seg = " + MACH.gs_base"
+            idx = mem_op.index
+            if idx is None:
+                return f"(((r[{base}] & {MASK32}) + {disp}{seg}) & M)"
+            return (
+                f"(((r[{base}] & {MASK32}) + {disp}"
+                f" + (r[{idx}] & {MASK32}) * {scale}{seg}) & M)"
+            )
+        closure = self.machine._compile_addr(mem_op)
+        return f"{self._obj(closure)}(t)"
+
+    @staticmethod
+    def _operand(value) -> str:
+        if isinstance(value, isa.Imm):
+            return repr(value.value & MASK64)
+        return f"r[{value}]"
+
+    # -- dispatch ------------------------------------------------------
+
+    def emit(self, p: int, insn) -> None:
+        kind = type(insn)
+        method = _EMITTERS.get(kind)
+        try:
+            cost = costs.BASE_COST[insn.cost_class]
+        except KeyError:
+            method = None
+            cost = 0
+        if method is None:
+            if not _schedule_neutral(insn):
+                self.impure = True
+            self._call_handler(p)
+            return
+        method(self, p, insn, cost)
+
+    # -- infallible straight-line instructions -------------------------
+
+    def _e_magic(self, p, insn, cost):
+        self.cum[0] += 1
+        self.cum[1] += cost
+
+    def _e_mov_ri(self, p, insn, cost):
+        self._simple(cost, f"r[{insn.dst}] = {insn.imm & MASK64}")
+
+    def _e_mov_rr(self, p, insn, cost):
+        self._simple(cost, f"r[{insn.dst}] = r[{insn.src}]")
+
+    def _e_mov_fa(self, p, insn, cost):
+        self._simple(cost, f"r[{insn.dst}] = {insn.value & MASK64}")
+
+    def _e_tlsbase(self, p, insn, cost):
+        mask = ~(THREAD_STACK_SIZE - 1)
+        self._simple(cost, f"r[{insn.dst}] = r[{regs.RSP}] & {mask}")
+
+    def _e_lea(self, p, insn, cost):
+        self._simple(cost, f"r[{insn.dst}] = {self._addr_expr(insn.mem)}")
+
+    def _e_alu(self, p, insn, cost):
+        dst, op = insn.dst, insn.op
+        if op in ("neg", "not"):
+            if isinstance(insn.a, isa.Imm):
+                value = eval_un(op, insn.a.value & MASK64)
+                self._simple(cost, f"r[{dst}] = {value}")
+            elif op == "neg":
+                self._simple(cost, f"r[{dst}] = -r[{insn.a}] & M")
+            else:
+                self._simple(cost, f"r[{dst}] = ~r[{insn.a}] & M")
+            return
+        a_imm = isinstance(insn.a, isa.Imm)
+        b_imm = isinstance(insn.b, isa.Imm)
+        if a_imm and b_imm and op not in ("div", "mod"):
+            value = eval_bin(
+                op, insn.a.value & MASK64, insn.b.value & MASK64
+            )
+            self._simple(cost, f"r[{dst}] = {value}")
+            return
+        if op in ("add", "sub") and not a_imm:
+            if b_imm:
+                bv = insn.b.value & MASK64
+                if op == "sub":
+                    bv = -bv
+                self._simple(cost, f"r[{dst}] = (r[{insn.a}] + {bv}) & M")
+            else:
+                sym = "+" if op == "add" else "-"
+                self._simple(
+                    cost, f"r[{dst}] = (r[{insn.a}] {sym} r[{insn.b}]) & M"
+                )
+            return
+        if op in _BIT_SYMS and not a_imm:
+            sym = _BIT_SYMS[op]
+            self._simple(
+                cost,
+                f"r[{dst}] = r[{insn.a}] {sym} {self._operand(insn.b)}",
+            )
+            return
+        if op == "mul" and not a_imm:
+            self.cum[0] += 1
+            self.cum[1] += cost
+            self._signed_var("x_", f"r[{insn.a}]")
+            if b_imm:
+                self.lines.append(
+                    f"r[{dst}] = (x_ * {signed(insn.b.value)}) & M"
+                )
+            else:
+                self._signed_var("y_", f"r[{insn.b}]")
+                self.lines.append(f"r[{dst}] = (x_ * y_) & M")
+            return
+        if op in ("shl", "shr") and not a_imm and b_imm:
+            sh = insn.b.value & 63
+            if op == "shl":
+                self._simple(cost, f"r[{dst}] = (r[{insn.a}] << {sh}) & M")
+            else:
+                self.cum[0] += 1
+                self.cum[1] += cost
+                self._signed_var("x_", f"r[{insn.a}]")
+                self.lines.append(f"r[{dst}] = (x_ >> {sh}) & M")
+            return
+        # div/mod (can fault) and leftover shapes: predecoded handler.
+        self._call_handler(p)
+
+    def _e_setcc(self, p, insn, cost):
+        dst, op = insn.dst, insn.op
+        a_imm = isinstance(insn.a, isa.Imm)
+        b_imm = isinstance(insn.b, isa.Imm)
+        if a_imm and b_imm:
+            value = eval_bin(
+                op, insn.a.value & MASK64, insn.b.value & MASK64
+            )
+            self._simple(cost, f"r[{dst}] = {value}")
+            return
+        if not a_imm and op in ("eq", "ne"):
+            sym = "==" if op == "eq" else "!="
+            self._simple(
+                cost,
+                f"r[{dst}] = 1 if r[{insn.a}] {sym} "
+                f"{self._operand(insn.b)} else 0",
+            )
+            return
+        if not a_imm and op in _SIGNED_SYMS:
+            sym = _SIGNED_SYMS[op]
+            self.cum[0] += 1
+            self.cum[1] += cost
+            self._signed_var("x_", f"r[{insn.a}]")
+            if b_imm:
+                self.lines.append(
+                    f"r[{dst}] = 1 if x_ {sym} {signed(insn.b.value)} else 0"
+                )
+            else:
+                self._signed_var("y_", f"r[{insn.b}]")
+                self.lines.append(f"r[{dst}] = 1 if x_ {sym} y_ else 0")
+            return
+        self._call_handler(p)
+
+    # -- fallible inlined instructions ---------------------------------
+
+    def _e_load(self, p, insn, cost):
+        size = insn.size
+        expr = self._addr_expr(insn.mem)
+        self._pre(p, cost)
+        lines = self.lines
+        lines.append(f"a_ = {expr}")
+        lines.append(f"if a_ >= {CODE_BASE}:")
+        if size >= 8:
+            lines.append("    v_ = RCW(a_)")
+        else:
+            lines.append(f"    v_ = RCW(a_) & {(1 << (8 * size)) - 1}")
+        lines.append("else:")
+        lines.extend("    " + line for line in self._cache_lines("a_", size))
+        lines.append(f"    o_ = a_ & {PAGE_MASK}")
+        lines.append("    pg_ = PAGES.get(a_ - o_)")
+        lines.append(f"    if pg_ is not None and o_ + {size} <= {PAGE_SIZE}:")
+        lines.append(f'        v_ = FB(pg_[o_:o_ + {size}], "little")')
+        lines.append("    else:")
+        lines.append(f"        v_ = MREAD(a_, {size})")
+        lines.append(f"r[{insn.dst}] = v_")
+        self.cum[2] += 1
+
+    def _e_store(self, p, insn, cost):
+        size = insn.size
+        expr = self._addr_expr(insn.mem)
+        self._pre(p, cost)
+        lines = self.lines
+        lines.append(f"a_ = {expr}")
+        lines.append(f"if a_ >= {CODE_BASE}:")
+        lines.append('    raise MF(FU, "write to code space", addr=a_)')
+        lines.extend(self._cache_lines("a_", size))
+        lines.append(f"v_ = {self._operand(insn.src)}")
+        lines.append(f"o_ = a_ & {PAGE_MASK}")
+        lines.append(f"if o_ + {size} <= {PAGE_SIZE}:")
+        lines.append("    b_ = a_ - o_")
+        lines.append("    rg_ = RO.get(b_)")
+        lines.append("    if rg_ is not None:")
+        lines.append("        for lo_, hi_ in rg_:")
+        lines.append(f"            if a_ < hi_ and a_ + {size} > lo_:")
+        lines.append(
+            "                raise MF(FP, "
+            '"write to read-only memory", addr=a_)'
+        )
+        lines.append("    pg_ = PAGES.get(b_)")
+        lines.append("    if pg_ is not None:")
+        lines.append(
+            f"        pg_[o_:o_ + {size}] = "
+            f'(v_ & {(1 << (8 * size)) - 1}).to_bytes({size}, "little")'
+        )
+        lines.append("    else:")
+        lines.append(f"        MWRITE(a_, {size}, v_)")
+        lines.append("else:")
+        lines.append(f"    MWRITE(a_, {size}, v_)")
+        self.cum[3] += 1
+
+    def _e_push(self, p, insn, cost):
+        self._pre(p, cost)
+        lines = self.lines
+        lines.append(f"rsp_ = (r[{regs.RSP}] - 8) & M")
+        lines.append(f"r[{regs.RSP}] = rsp_")
+        lines.append(f"v_ = {self._operand(insn.src)}")
+        lines.append(f"if rsp_ >= {CODE_BASE}:")
+        lines.append('    raise MF(FU, "write to code space", addr=rsp_)')
+        lines.extend(self._cache_lines("rsp_", 8))
+        lines.append(f"o_ = rsp_ & {PAGE_MASK}")
+        lines.append("pg_ = None")
+        lines.append(
+            f"if o_ + 8 <= {PAGE_SIZE} and not RO.get(rsp_ - o_):"
+        )
+        lines.append("    pg_ = PAGES.get(rsp_ - o_)")
+        lines.append("if pg_ is not None:")
+        lines.append('    pg_[o_:o_ + 8] = v_.to_bytes(8, "little")')
+        lines.append("else:")
+        lines.append("    MWRITE(rsp_, 8, v_)")
+
+    def _e_pop(self, p, insn, cost):
+        self._pre(p, cost)
+        lines = self.lines
+        lines.append(f"rsp_ = r[{regs.RSP}]")
+        lines.append(f"if rsp_ >= {CODE_BASE}:")
+        lines.append("    v_ = RCW(rsp_)")
+        lines.append("else:")
+        lines.extend(
+            "    " + line for line in self._cache_lines("rsp_", 8)
+        )
+        lines.append(f"    o_ = rsp_ & {PAGE_MASK}")
+        lines.append("    pg_ = PAGES.get(rsp_ - o_)")
+        lines.append(f"    if pg_ is not None and o_ + 8 <= {PAGE_SIZE}:")
+        lines.append('        v_ = FB(pg_[o_:o_ + 8], "little")')
+        lines.append("    else:")
+        lines.append("        v_ = MREAD(rsp_, 8)")
+        lines.append(f"r[{insn.dst}] = v_")
+        lines.append(f"r[{regs.RSP}] = (rsp_ + 8) & M")
+
+    def _e_check_magic(self, p, insn, cost):
+        self._pre(p, cost, cfi=1)
+        lines = self.lines
+        lines.append(f"x_ = r[{insn.reg}]")
+        lines.append("w_ = RCW(x_)")
+        lines.append(f"if w_ != {~insn.inv_value & MASK64}:")
+        detail = f"magic mismatch at target (kind={insn.kind})"
+        lines.append(f"    raise MF(FC, {detail!r}, addr=x_)")
+
+    def _e_bndchk(self, p, insn, cost):
+        if insn.mem is not None:
+            # The fixed post-address surcharge is pre-fault in the
+            # handlers, so it batches with the base cost.
+            cost += costs.BNDCHK_MEM_EXTRA
+        self._pre(p, cost, bnd=1)
+        lines = self.lines
+        if insn.mem is not None:
+            lines.append(f"a_ = {self._addr_expr(insn.mem)}")
+        else:
+            lines.append(f"a_ = r[{insn.reg}]")
+        lines.append(f"lo_, hi_ = BND[{insn.bnd}]")
+        lines.append("if not (lo_ <= a_ < hi_):")
+        lines.append(
+            f'    raise MF(FBND, f"bnd{insn.bnd} violation '
+            '[{lo_:#x},{hi_:#x})", addr=a_)'
+        )
+
+    def _e_chkstk(self, p, insn, cost):
+        self._pre(p, cost)
+        lines = self.lines
+        lines.append(f"rsp_ = r[{regs.RSP}]")
+        lines.append("lo_, hi_ = t.pub_stack")
+        lines.append("if not (lo_ <= rsp_ <= hi_):")
+        lines.append('    raise MF(FK, "rsp escaped its stack", addr=rsp_)')
+
+    # -- terminators ---------------------------------------------------
+
+    def _e_jmp(self, p, insn, cost):
+        self.cum[0] += 1
+        self.cum[1] += cost
+        self.lines.append(f"t.pc = {insn.addr}")
+
+    def _e_br(self, p, insn, cost):
+        op, addr, npc = insn.op, insn.addr, p + 1
+        a_imm = isinstance(insn.a, isa.Imm)
+        b_imm = isinstance(insn.b, isa.Imm)
+        if not a_imm and op in ("eq", "ne"):
+            sym = "==" if op == "eq" else "!="
+            self.cum[0] += 1
+            self.cum[1] += cost
+            self.lines.append(
+                f"t.pc = {addr} if r[{insn.a}] {sym} "
+                f"{self._operand(insn.b)} else {npc}"
+            )
+            return
+        if not a_imm and op in _SIGNED_SYMS:
+            sym = _SIGNED_SYMS[op]
+            self.cum[0] += 1
+            self.cum[1] += cost
+            self._signed_var("x_", f"r[{insn.a}]")
+            if b_imm:
+                self.lines.append(
+                    f"t.pc = {addr} if x_ {sym} "
+                    f"{signed(insn.b.value)} else {npc}"
+                )
+            else:
+                self._signed_var("y_", f"r[{insn.b}]")
+                self.lines.append(
+                    f"t.pc = {addr} if x_ {sym} y_ else {npc}"
+                )
+            return
+        self._call_handler(p)
+
+    def _e_call_d(self, p, insn, cost):
+        self._pre(p, cost, calls=1)
+        lines = self.lines
+        lines.append(f"rsp_ = (r[{regs.RSP}] - 8) & M")
+        lines.append(f"r[{regs.RSP}] = rsp_")
+        lines.append(f"if rsp_ >= {CODE_BASE}:")
+        lines.append('    raise MF(FU, "write to code space", addr=rsp_)')
+        lines.append("TOUCH(c, rsp_, 8)")
+        lines.append(f"MWRITE(rsp_, 8, {CODE_BASE + p + 1})")
+        lines.append(f"t.pc = {insn.addr}")
+
+    def _e_halt(self, p, insn, cost):
+        self.impure = True
+        self.cum[0] += 1
+        self.cum[1] += cost
+        # finish_time reads the cycle counter, so the block's batched
+        # charges must land first.
+        self.flush()
+        lines = self.lines
+        lines.append(f"t.pc = {p}")
+        lines.append("t.alive = False")
+        lines.append("t.finish_time = C[c]")
+        lines.append("if t.tid == 0:")
+        lines.append(f"    MACH.exit_code = r[{regs.RAX}]")
+
+    def _e_fail(self, p, insn, cost):
+        self._pre(p, cost)
+        self.lines.append('raise MF(FC, "__debugbreak reached")')
+
+
+#: Instruction type -> emitter.  Types absent here (indirect control
+#: flow, shadow-stack ops, unknown instructions) run through their
+#: predecoded handler closure inside the block.
+_EMITTERS = {
+    isa.MagicWord: _Emitter._e_magic,
+    isa.MovRI: _Emitter._e_mov_ri,
+    isa.MovRR: _Emitter._e_mov_rr,
+    isa.MovFuncAddr: _Emitter._e_mov_fa,
+    isa.Alu: _Emitter._e_alu,
+    isa.SetCC: _Emitter._e_setcc,
+    isa.Load: _Emitter._e_load,
+    isa.Store: _Emitter._e_store,
+    isa.Lea: _Emitter._e_lea,
+    isa.Push: _Emitter._e_push,
+    isa.Pop: _Emitter._e_pop,
+    isa.Jmp: _Emitter._e_jmp,
+    isa.Br: _Emitter._e_br,
+    isa.CallD: _Emitter._e_call_d,
+    isa.CheckMagic: _Emitter._e_check_magic,
+    isa.BndChk: _Emitter._e_bndchk,
+    isa.ChkStk: _Emitter._e_chkstk,
+    isa.TlsBase: _Emitter._e_tlsbase,
+    isa.Halt: _Emitter._e_halt,
+    isa.Fail: _Emitter._e_fail,
+}

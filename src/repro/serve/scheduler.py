@@ -41,6 +41,29 @@ from .image import DEFAULT_BUDGET, MachineImage, ServeInstance
 DEFAULT_QUEUE_DEPTH = 64
 
 
+async def _race(awaitable, failure: asyncio.Future):
+    """Await ``awaitable``, failing fast if ``failure`` completes first.
+
+    ``failure`` carries the first pool-worker crash.  Without the race,
+    ``queue.join()`` waits forever on ``task_done()`` calls a dead
+    worker will never make, and a blocking ``queue.put()`` waits
+    forever on consumers that no longer exist.
+    """
+    op = asyncio.ensure_future(awaitable)
+    try:
+        done, _ = await asyncio.wait(
+            (op, failure), return_when=asyncio.FIRST_COMPLETED
+        )
+    except asyncio.CancelledError:
+        op.cancel()
+        raise
+    if op in done:
+        return op.result()
+    op.cancel()
+    await asyncio.gather(op, return_exceptions=True)
+    return failure.result()  # re-raises the worker's exception
+
+
 @dataclass
 class RequestResult:
     """Outcome of one request through the fleet."""
@@ -115,8 +138,18 @@ class TenantPool:
         self.queue: asyncio.Queue = asyncio.Queue(maxsize=queue_depth)
         self.counters = TenantCounters()
 
-    async def submit(self, pending: _Pending) -> None:
-        await self.queue.put(pending)
+    async def submit(self, pending: _Pending,
+                     failure: asyncio.Future | None = None) -> None:
+        try:
+            # Fast path: like Queue.put on a non-full queue, this does
+            # not yield, so request interleaving (and therefore batch
+            # composition and cycle accounting) stays deterministic.
+            self.queue.put_nowait(pending)
+        except asyncio.QueueFull:
+            if failure is None:
+                await self.queue.put(pending)
+            else:
+                await _race(self.queue.put(pending), failure)
         depth = self.queue.qsize()
         if depth > self.counters.max_queue_depth:
             self.counters.max_queue_depth = depth
@@ -227,11 +260,22 @@ class Fleet:
         return asyncio.run(self.serve_async(requests))
 
     async def serve_async(self, requests) -> list[RequestResult]:
-        workers = [
-            asyncio.ensure_future(pool.worker(instance))
-            for pool in self.pools.values()
-            for instance in pool.instances
-        ]
+        loop = asyncio.get_running_loop()
+        failure: asyncio.Future = loop.create_future()
+
+        def _surface(task: asyncio.Task) -> None:
+            if task.cancelled():
+                return
+            exc = task.exception()
+            if exc is not None and not failure.done():
+                failure.set_exception(exc)
+
+        workers = []
+        for pool in self.pools.values():
+            for instance in pool.instances:
+                worker = asyncio.ensure_future(pool.worker(instance))
+                worker.add_done_callback(_surface)
+                workers.append(worker)
         submitted: list[_Pending] = []
         try:
             for tenant, payload in requests:
@@ -243,13 +287,15 @@ class Fleet:
                     enqueued=time.perf_counter(),
                 )
                 submitted.append(pending)
-                await pool.submit(pending)
+                await pool.submit(pending, failure)
             for pool in self.pools.values():
-                await pool.queue.join()
+                await _race(pool.queue.join(), failure)
         finally:
             for worker in workers:
                 worker.cancel()
             await asyncio.gather(*workers, return_exceptions=True)
+            if failure.done() and not failure.cancelled():
+                failure.exception()  # mark retrieved; _race already raised
         # Surface unexpected worker crashes (anything but cancellation).
         for worker in workers:
             if worker.cancelled():
@@ -266,21 +312,9 @@ class Fleet:
         }
 
     def publish_metrics(self, registry) -> None:
-        """Publish per-tenant serve counters into an obs registry."""
+        """Publish the full per-tenant counter set into an obs
+        registry — one ``serve.<counter>`` metric per
+        :class:`TenantCounters` field."""
         for name, pool in self.pools.items():
-            counters = pool.counters
-            registry.counter("serve.requests", tenant=name).inc(
-                counters.requests
-            )
-            registry.counter("serve.faults", tenant=name).inc(
-                counters.faults
-            )
-            registry.counter("serve.evictions", tenant=name).inc(
-                counters.evictions
-            )
-            registry.counter("serve.resets", tenant=name).inc(
-                counters.resets
-            )
-            registry.counter("serve.cycles", tenant=name).inc(
-                counters.cycles
-            )
+            for key, value in pool.counters.as_dict().items():
+                registry.counter(f"serve.{key}", tenant=name).inc(value)

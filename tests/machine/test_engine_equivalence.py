@@ -1,13 +1,15 @@
-"""Differential suite: the predecoded engine must be observably
-identical to the reference engine.
+"""Differential suite: the fast engines must be observably identical
+to the reference engine.
 
-The predecoded engine is a pure performance transformation — simulated
-cycle counts, Stats counters, fault kinds/details/addresses, cache
-hits/misses, final register state, obs spans/metrics, and step-hook
-callbacks must all agree bit-for-bit with the one-step-at-a-time
-reference interpreter.  This suite pins that contract with the random
-``ProgramGen`` corpus across BASE/OUR_MPX/OUR_SEG plus hand-built
-fault programs.
+The predecoded and superblock engines are pure performance
+transformations — simulated cycle counts, Stats counters, fault
+kinds/details/addresses, cache hits/misses, final register state, obs
+spans/metrics, and step-hook callbacks must all agree bit-for-bit with
+the one-step-at-a-time reference interpreter.  This suite pins that
+contract with the random ``ProgramGen`` corpus across
+BASE/OUR_MPX/OUR_SEG plus hand-built fault programs, and adds
+budget-boundary cases where the superblock engine's relaxed quantum
+grid has to realign with the per-instruction engines.
 """
 
 from __future__ import annotations
@@ -29,6 +31,8 @@ from tests.machine.test_semantics_fixes import make_machine
 
 CORPUS_SEEDS = (0, 7, 23, 481, 9001, 31337)
 CONFIGS = (BASE, OUR_MPX, OUR_SEG)
+FAST_ENGINES = ("predecoded", "superblock")
+ALL_ENGINES = ("reference",) + FAST_ENGINES
 
 
 def machine_signature(machine):
@@ -73,11 +77,11 @@ def test_corpus_program_identical_across_engines(seed, config):
     source = ProgramGen(seed).gen()
     binary = compile_source(source, config, seed=seed)
     reference = run_engine(binary, "reference")
-    predecoded = run_engine(binary, "predecoded")
-    assert reference == predecoded
+    for engine in FAST_ENGINES:
+        assert run_engine(binary, engine) == reference, engine
 
 
-@pytest.mark.parametrize("engine", ("predecoded", "reference"))
+@pytest.mark.parametrize("engine", ALL_ENGINES)
 def test_engine_selection_is_exposed(engine):
     machine = make_machine([isa.Halt()], engine=engine)
     assert machine.engine == engine
@@ -141,7 +145,7 @@ class TestFaultEquivalence:
     def test_fault_identical(self, name):
         code = self.fault_programs()[name]
         results = {}
-        for engine in ("reference", "predecoded"):
+        for engine in ALL_ENGINES:
             machine = make_machine(code, engine=engine)
             try:
                 machine.run(max_instructions=10_000)
@@ -149,7 +153,8 @@ class TestFaultEquivalence:
             except MachineFault as fault:
                 outcome = ("fault", fault.kind, fault.detail, fault.addr)
             results[engine] = (outcome, machine_signature(machine))
-        assert results["reference"] == results["predecoded"]
+        for engine in FAST_ENGINES:
+            assert results[engine] == results["reference"], engine
         assert results["reference"][0][0] == "fault"
 
 
@@ -177,13 +182,13 @@ int main() {
 
     @pytest.mark.parametrize("config", CONFIGS, ids=lambda c: c.name)
     def test_hook_callbacks_identical(self, config):
-        assert self.hook_stream("reference", config) == self.hook_stream(
-            "predecoded", config
-        )
+        reference = self.hook_stream("reference", config)
+        for engine in FAST_ENGINES:
+            assert self.hook_stream(engine, config) == reference, engine
 
     def test_profiler_identical(self):
         reports = {}
-        for engine in ("reference", "predecoded"):
+        for engine in ALL_ENGINES:
             binary = compile_source(self.SOURCE, OUR_MPX, seed=3)
             process = load(binary, runtime=TrustedRuntime(), engine=engine)
             profiler = attach_profiler(process.machine)
@@ -192,14 +197,15 @@ int main() {
                 (r.name, r.cycles, r.bnd_checks, r.cfi_checks)
                 for r in profiler.report()
             ]
-        assert reports["reference"] == reports["predecoded"]
+        for engine in FAST_ENGINES:
+            assert reports[engine] == reports["reference"], engine
 
     def test_hook_attached_mid_run_sees_identical_tail(self):
         # Attaching a hook mid-run kicks the predecoded engine off its
         # single-thread hot loop at the next quantum boundary — the
         # remaining callbacks must still match the reference engine.
         streams = {}
-        for engine in ("reference", "predecoded"):
+        for engine in ALL_ENGINES:
             binary = compile_source(self.SOURCE, BASE, seed=3)
             process = load(binary, runtime=TrustedRuntime(), engine=engine)
             machine = process.machine
@@ -218,7 +224,8 @@ int main() {
             machine.add_step_hook(tail_hook)
             process.run()
             streams[engine] = (machine.stats.instructions, stream)
-        assert streams["reference"] == streams["predecoded"]
+        for engine in FAST_ENGINES:
+            assert streams[engine] == streams["reference"], engine
 
 
 class TestBlockProfilerEquivalence:
@@ -255,15 +262,76 @@ class TestBlockProfilerEquivalence:
     def test_corpus_attribution_identical(self, seed, config):
         source = ProgramGen(seed).gen()
         binary = compile_source(source, config, seed=seed)
-        assert self.blockprof_signature(
-            binary, "reference"
-        ) == self.blockprof_signature(binary, "predecoded")
+        reference = self.blockprof_signature(binary, "reference")
+        for engine in FAST_ENGINES:
+            assert self.blockprof_signature(binary, engine) == reference, (
+                engine
+            )
 
     def test_structured_program_attribution_identical(self):
         binary = compile_source(
             TestStepHookEquivalence.SOURCE, OUR_MPX, seed=3
         )
         reference = self.blockprof_signature(binary, "reference")
-        predecoded = self.blockprof_signature(binary, "predecoded")
-        assert reference == predecoded
+        for engine in FAST_ENGINES:
+            assert self.blockprof_signature(binary, engine) == reference, (
+                engine
+            )
         assert reference["sites"]  # checks actually executed
+
+
+class TestBudgetBoundary:
+    """The instruction budget gates *starting* an instruction: a
+    program whose final budgeted instruction halts it must return its
+    exit code, not be misreported as evicted.  Regression tests for the
+    off-by-one where ``budget <= 0`` was checked before
+    ``thread.alive``, run across all three engines (the superblock
+    engine additionally realigns its relaxed quantum grid here)."""
+
+    def straight_line(self, n_movs):
+        code = [isa.MovRI(regs.RAX, 41) for _ in range(n_movs)]
+        code.append(isa.MovRI(regs.RAX, 42))
+        code.append(isa.Halt())
+        return code
+
+    @pytest.mark.parametrize("engine", ALL_ENGINES)
+    @pytest.mark.parametrize("n_movs", (4, 100))  # within / past a quantum
+    def test_exact_budget_halt_returns_exit_code(self, engine, n_movs):
+        code = self.straight_line(n_movs)
+        machine = make_machine(code, engine=engine)
+        exit_code = machine.run(max_instructions=len(code))
+        assert exit_code == 42
+        assert machine.stats.instructions == len(code)
+        assert "instruction-budget-exhausted" not in machine.stats.faults
+
+    @pytest.mark.parametrize("engine", ALL_ENGINES)
+    @pytest.mark.parametrize("n_movs", (4, 100))
+    def test_one_instruction_short_still_evicts(self, engine, n_movs):
+        code = self.straight_line(n_movs)
+        machine = make_machine(code, engine=engine)
+        with pytest.raises(MachineFault) as excinfo:
+            machine.run(max_instructions=len(code) - 1)
+        assert excinfo.value.kind == "instruction-budget-exhausted"
+        assert machine.stats.instructions == len(code) - 1
+        assert machine.exit_code is None
+
+    def test_budget_fault_state_identical_across_engines(self):
+        # Evict a spin loop on a budget that lands mid-block and
+        # mid-quantum; retired counts and pcs must agree bit-for-bit.
+        code = [
+            isa.MovRI(regs.RAX, 0),
+            isa.Alu("add", regs.RAX, regs.RAX, isa.Imm(1)),
+            isa.Alu("add", regs.RAX, regs.RAX, isa.Imm(1)),
+            isa.Alu("add", regs.RAX, regs.RAX, isa.Imm(1)),
+            isa.Jmp("loop", addr=1),
+            isa.Halt(),
+        ]
+        signatures = {}
+        for engine in ALL_ENGINES:
+            machine = make_machine(code, engine=engine)
+            with pytest.raises(MachineFault) as excinfo:
+                machine.run(max_instructions=1001)
+            assert excinfo.value.kind == "instruction-budget-exhausted"
+            signatures[engine] = machine_signature(machine)
+        for engine in FAST_ENGINES:
+            assert signatures[engine] == signatures["reference"], engine

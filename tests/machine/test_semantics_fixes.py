@@ -23,7 +23,7 @@ from repro.machine.cache import L1Cache
 from repro.machine.costs import CACHE_MISS_PENALTY
 from repro.machine.cpu import Machine
 
-ENGINES = ("predecoded", "reference")
+ENGINES = ("predecoded", "superblock", "reference")
 
 
 def make_machine(code, config=BASE, engine="predecoded"):

@@ -31,7 +31,7 @@ from repro.serve.apps import echo_request
 from tests.machine.test_engine_equivalence import machine_signature
 
 CONFIGS = (BASE, OUR_MPX, OUR_SEG)
-ENGINES = ("predecoded", "reference")
+ENGINES = ("predecoded", "superblock", "reference")
 
 ECHO = SERVE_APPS["echo"]
 

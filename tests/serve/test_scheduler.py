@@ -157,3 +157,94 @@ def test_publish_metrics(image):
         if key.startswith("serve.requests")
     }
     assert sum(requests.values()) == 6
+
+
+def test_publish_metrics_full_counter_set(image):
+    """publish_metrics must mirror every TenantCounters field — it used
+    to drop instructions, checks, batches, and max_queue_depth."""
+    from repro.obs import events
+
+    fleet = Fleet(image, 2, pool_size=1, budget=50_000)
+    stream = [(f"tenant{i % 2}", echo_request(i)) for i in range(6)]
+    stream.append(("tenant0", echo_spin_request()))
+    fleet.serve(stream)
+    registry = events.Registry()
+    fleet.publish_metrics(registry)
+    snapshot = registry.metrics_snapshot()
+    for tenant, counters in fleet.counters().items():
+        for key, value in counters.items():
+            metric = f"serve.{key}{{tenant={tenant}}}"
+            assert snapshot.get(metric) == value, metric
+    assert sum(
+        value
+        for key, value in snapshot.items()
+        if key.startswith("serve.instructions")
+    ) > 0
+    assert snapshot[f"serve.evictions{{tenant=tenant0}}"] == 1
+
+
+class TestWorkerCrash:
+    """A dead pool worker must surface its exception immediately
+    instead of deadlocking serve_async.
+
+    Before the fix, ``await pool.queue.join()`` waited forever for
+    ``task_done()`` calls the crashed worker would never make, and a
+    producer blocked in ``queue.put()`` waited forever for consumers
+    that no longer existed.  ``asyncio.wait_for`` turns a regression
+    back into a test failure rather than a hung suite.
+    """
+
+    TIMEOUT = 10.0
+
+    @staticmethod
+    def _crash_serve_one(monkeypatch, message):
+        from repro.serve.scheduler import TenantPool
+
+        def explode(self, instance, pending, dequeued):
+            raise RuntimeError(message)
+
+        monkeypatch.setattr(TenantPool, "_serve_one", explode)
+
+    def _serve(self, fleet, stream):
+        import asyncio
+
+        async def run():
+            return await asyncio.wait_for(
+                fleet.serve_async(stream), timeout=self.TIMEOUT
+            )
+
+        return asyncio.run(run())
+
+    def test_crash_unblocks_queue_join(self, image, monkeypatch):
+        self._crash_serve_one(monkeypatch, "slot exploded")
+        fleet = Fleet(image, 1, pool_size=1)
+        with pytest.raises(RuntimeError, match="slot exploded"):
+            self._serve(fleet, [("tenant0", echo_request(0))])
+
+    def test_crash_unblocks_full_queue_submit(self, image, monkeypatch):
+        # queue_depth=1 with a single dead consumer: without the fix
+        # the producer blocks forever inside submit() on request #3.
+        self._crash_serve_one(monkeypatch, "slot exploded")
+        fleet = Fleet(image, 1, pool_size=1, queue_depth=1)
+        stream = [("tenant0", echo_request(i)) for i in range(8)]
+        with pytest.raises(RuntimeError, match="slot exploded"):
+            self._serve(fleet, stream)
+
+    def test_crash_in_one_pool_stops_whole_run(self, image, monkeypatch):
+        # Multi-tenant: a crash anywhere surfaces even while other
+        # pools' queues still hold work.
+        self._crash_serve_one(monkeypatch, "slot exploded")
+        fleet = Fleet(image, 3, pool_size=2)
+        stream = [(f"tenant{i % 3}", echo_request(i)) for i in range(12)]
+        with pytest.raises(RuntimeError, match="slot exploded"):
+            self._serve(fleet, stream)
+
+    def test_healthy_fleet_unaffected_by_raceable_paths(self, image):
+        # The raced submit/join paths must not change results when no
+        # worker dies — including with a tiny queue that forces the
+        # blocking-put branch.
+        stream = [("tenant0", echo_request(i)) for i in range(8)]
+        fleet = Fleet(image, 1, pool_size=1, queue_depth=1)
+        results = self._serve(fleet, stream)
+        assert [r.index for r in results] == list(range(8))
+        assert all(r.ok for r in results)

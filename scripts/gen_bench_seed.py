@@ -76,7 +76,26 @@ def build_records() -> list[dict]:
         )
     )
 
-    # Suite 3: the Fig. 5 SPEC kernels under the paper's config set.
+    # Suite 3: the quickstart under the aggressive post-codegen check
+    # optimizer.  A separate suite so `bench diff --suite
+    # quickstart-checkopt` gates the optimizer's cycle/check deltas
+    # independently of the safe baseline (safe stays bit-identical to
+    # the historical output, so suite 1 doubles as its gate).
+    _, ck_benchmarks = run_bench_suite(
+        FIXED, suite="quickstart-checkopt", seed=SEED,
+        checkopt="aggressive",
+    )
+    records.append(
+        bench_store.make_record(
+            name="quickstart-checkopt",
+            seed=SEED,
+            engine="predecoded",
+            cache="off",
+            benchmarks=ck_benchmarks,
+        )
+    )
+
+    # Suite 4: the Fig. 5 SPEC kernels under the paper's config set.
     fig5_benchmarks = []
     for kernel in SPEC_NAMES:
         source = kernel_source(kernel, scale=1)
@@ -97,7 +116,7 @@ def build_records() -> list[dict]:
         )
     )
 
-    # Suites 4-6: the serving tier, one record per app, matching what
+    # Suites 5-7: the serving tier, one record per app, matching what
     # smoke.sh stores from `repro serve --store`.  batch=1 makes the
     # cycle/instruction totals exactly reproducible.
     for app in SERVE_APPS:

@@ -167,6 +167,67 @@ python -m repro bench diff BENCH_seed.json "$BENCH_CI" \
     --suite quickstart-superblock
 echo "bench gate OK: seed diff clean (both engines), injected regression flagged"
 
+# Check-optimizer smoke (--checkopt aggressive): fig5 kernels still
+# pass ConfVerify with checks elided, all engines stay bit-identical,
+# `repro report` attributes a real bnd-cycle saving on mcf/OurMPX, the
+# quickstart-checkopt trajectory record diffs clean against the seed,
+# and the witness-corruption fuzz oracle kills 100% of seeded
+# witness corruptions.
+MCF="$WORK/mcf.mc"
+python - "$MCF" <<'PY'
+import sys
+
+from repro.apps.spec import kernel_source
+
+with open(sys.argv[1], "w") as handle:
+    handle.write(kernel_source("mcf"))
+PY
+python -m repro verify --config OurMPX --checkopt aggressive --seed 1 \
+    --no-prototypes "$MCF" > /dev/null
+python -m repro verify --config OurSeg --checkopt aggressive --seed 1 \
+    --no-prototypes "$MCF" > /dev/null
+
+CK_FAST="$WORK/bench_ck_fast.json"
+CK_SUPER="$WORK/bench_ck_super.json"
+CK_REF="$WORK/bench_ck_ref.json"
+python -m repro bench --seed 1 --json --checkopt aggressive "$SRC" > "$CK_FAST"
+python -m repro bench --seed 1 --json --checkopt aggressive \
+    --engine superblock "$SRC" > "$CK_SUPER"
+python -m repro bench --seed 1 --json --checkopt aggressive \
+    --engine reference "$SRC" > "$CK_REF"
+cmp "$CK_FAST" "$CK_REF"
+cmp "$CK_SUPER" "$CK_REF"
+
+CK_REPORT="$WORK/report_ck.json"
+python -m repro report --seed 1 --json --checkopt aggressive "$MCF" \
+    > "$CK_REPORT"
+python - "$CK_REPORT" <<'PY'
+import json
+import sys
+
+with open(sys.argv[1]) as handle:
+    report = json.load(handle)
+mpx = next(e for e in report["configs"] if e["config"] == "OurMPX")
+ck = mpx["checkopt"]
+assert ck["level"] == "aggressive", ck
+assert ck["bnd_cycles_saved"] > 0, ck
+assert ck["bnd_sites"] <= ck["bnd_sites_off"], ck
+print(
+    f"checkopt OK: mcf/OurMPX saves {ck['bnd_cycles_saved']} bnd cycles "
+    f"({ck['bnd_cycles_off']} -> {ck['bnd_cycles']})"
+)
+PY
+
+python -m repro bench --seed 1 --json --checkopt aggressive --store "$BENCH_CI" \
+    --bench-name quickstart-checkopt "$SRC" > /dev/null
+python -m repro bench diff BENCH_seed.json "$BENCH_CI" \
+    --suite quickstart-checkopt
+
+python -m repro fuzz --engine witness --seed 0 --n 2 --stride 4 > "$FUZZ_OUT"
+grep "(100.0%)" "$FUZZ_OUT" > /dev/null
+echo "checkopt gate OK: fig5 verifies, engines agree, seed diff clean," \
+    "witness oracle at 100% kill"
+
 # Serving-tier smoke: a 2-tenant fleet per app (~1k requests total
 # across the three real apps), zero pool faults, every response valid,
 # and the stored serve/<app> records must diff clean against the seed.

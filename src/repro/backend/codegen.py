@@ -63,6 +63,12 @@ class FunctionCodegen:
         self._frame = self._layout_frame()
         # Per-block set of already-checked MPX keys (coalescing).
         self._checked: set = set()
+        # checkopt=off conservatively preserves every check: the
+        # codegen-time MPX optimizations are disabled wholesale (the
+        # certified post-codegen optimizer never runs either).
+        naive = config.checkopt == "off"
+        self._elide_small_disp = config.elide_small_disp and not naive
+        self._coalesce_checks = config.coalesce_checks and not naive
 
     # ------------------------------------------------------------------
     # Frame layout
@@ -278,13 +284,13 @@ class FunctionCodegen:
             return
         bnd = 1 if mem.region == "priv" else 0
         if (
-            self._config.elide_small_disp
+            self._elide_small_disp
             and mem.index is None
             and abs(mem.disp) < ELIDE_LIMIT
             and mem.base is not None
         ):
             key = ("reg", mem.base, bnd)
-            if self._config.coalesce_checks and key in self._checked:
+            if self._coalesce_checks and key in self._checked:
                 events.counter(
                     "codegen.checks", kind="bnd", outcome="coalesced"
                 ).inc()
@@ -296,7 +302,7 @@ class FunctionCodegen:
             self._emit(isa.BndChk(bnd, reg=mem.base))
             return
         key = ("mem", mem.base, mem.index, mem.scale, mem.disp, bnd)
-        if self._config.coalesce_checks and key in self._checked:
+        if self._coalesce_checks and key in self._checked:
             events.counter(
                 "codegen.checks", kind="bnd", outcome="coalesced"
             ).inc()

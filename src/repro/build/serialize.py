@@ -51,7 +51,10 @@ from ..taint.lattice import Taint
 #: Bump whenever the encoded shape of any artifact changes; cached
 #: objects written under a different version are never read back.
 #: v2: binaries carry the ``check_sites`` map (addr -> check category).
-FORMAT_VERSION = 2
+#: v3: BuildConfig gained the ``checkopt`` level (part of the config
+#: fingerprint, so differently-checkopted units never share a cache
+#: entry).
+FORMAT_VERSION = 3
 
 
 class SerializeError(ReproError):

@@ -4,15 +4,23 @@ A :class:`BuildSession` decomposes the old monolithic ``compile_source``
 into explicit stages, each yielding a named, fingerprinted
 :class:`StageResult`::
 
-    parse -> sema (taint inference) -> lower -> opt -> codegen
+    parse -> sema (taint inference) -> lower -> opt -> codegen -> checkopt
 
 Fingerprints chain: every stage's fingerprint hashes its own inputs
 together with its predecessor's fingerprint, so two pipelines agree on
 a stage fingerprint iff they agree on everything that could influence
-that stage's output.  The codegen stage's product is a pre-link
+that stage's output.  The certified stages additionally fold their
+accepted witness digests into the chain (the ``opt`` stage hashes
+``module.opt_witness_digest``; the ``checkopt`` stage hashes the check
+optimizer's witness digest), so a change in certification behaviour —
+a rejected witness, a different edit script — invalidates downstream
+fingerprints.  The checkopt stage's product is a pre-link
 :class:`~repro.link.objfile.UObject` — the separate-compilation unit
 the linker consumes (one per source file, like the paper's U dll
-objects).
+objects); the stage itself is a no-op unless ``config.checkopt`` is
+``"aggressive"``, in which case the post-codegen check optimizer
+(:mod:`repro.opt.checkopt`) rewrites each function's ISA stream under
+translation validation.
 
 Sessions optionally carry
 
@@ -44,6 +52,7 @@ from ..link.objfile import Binary, UObject
 from ..minic.parser import parse
 from ..minic.sema import analyze
 from ..obs import events
+from ..opt.checkopt import run_checkopt
 from ..opt.pipeline import optimize_module
 from .cache import ObjectCache
 from .serialize import (
@@ -57,7 +66,7 @@ from .serialize import (
 )
 
 #: Pipeline stage names, in order.
-STAGES = ("parse", "sema", "lower", "opt", "codegen")
+STAGES = ("parse", "sema", "lower", "opt", "codegen", "checkopt")
 
 
 @dataclass(frozen=True)
@@ -133,7 +142,12 @@ class BuildSession:
 
     def stage_opt(self, lowered: StageResult, config: BuildConfig) -> StageResult:
         module = optimize_module(lowered.value, pipeline=config.pipeline)
-        fp = _chain("opt", lowered.fingerprint, config.pipeline)
+        fp = _chain(
+            "opt",
+            lowered.fingerprint,
+            config.pipeline,
+            module.opt_witness_digest,
+        )
         return StageResult("opt", fp, module)
 
     def stage_codegen(
@@ -142,6 +156,18 @@ class BuildSession:
         obj: UObject = compile_module(opted.value, config)
         fp = _chain("codegen", opted.fingerprint, config_fingerprint(config))
         return StageResult("codegen", fp, obj)
+
+    def stage_checkopt(
+        self, codegenned: StageResult, config: BuildConfig
+    ) -> StageResult:
+        obj: UObject = codegenned.value
+        wdigest = ""
+        if config.checkopt == "aggressive":
+            wdigest = run_checkopt(obj, config)
+        fp = _chain(
+            "checkopt", codegenned.fingerprint, config.checkopt, wdigest
+        )
+        return StageResult("checkopt", fp, obj)
 
     # ------------------------------------------------------------------
     # Unit compilation (cache-aware).
@@ -178,6 +204,7 @@ class BuildSession:
         result = self.stage_lower(result, config, allow_undefined)
         result = self.stage_opt(result, config)
         result = self.stage_codegen(result, config)
+        result = self.stage_checkopt(result, config)
         obj = result.value
         if digest is not None:
             self.cache.put(digest, dump_uobject(obj))

@@ -72,7 +72,7 @@ from .build import (
     use_session,
 )
 from .compiler import compile_source
-from .config import ALL_CONFIGS, OUR_MPX
+from .config import ALL_CONFIGS, CHECKOPT_LEVELS, OUR_MPX
 from .errors import MachineFault, ReproError
 from .link.loader import load
 from .obs import events, export
@@ -93,6 +93,14 @@ _SOURCE_NOISE = re.compile(
 
 def _has_trusted_declarations(source: str) -> bool:
     return _EXTERN_TRUSTED.search(_SOURCE_NOISE.sub(" ", source)) is not None
+
+
+def _apply_checkopt(config, args):
+    """Apply ``--checkopt`` to a named config (no-op when unset/equal)."""
+    level = getattr(args, "checkopt", None)
+    if level and level != config.checkopt:
+        return config.variant(checkopt=level)
+    return config
 
 
 def _read_source(path: str, add_prototypes: bool) -> str:
@@ -215,7 +223,7 @@ def _report_run(args, process, runtime, profiler, blockprof=None) -> None:
 
 def cmd_run(args) -> int:
     source = _read_source(args.source, not args.no_prototypes)
-    config = ALL_CONFIGS[args.config]
+    config = _apply_checkopt(ALL_CONFIGS[args.config], args)
     registry = _activate_obs(args)
     try:
         binary = compile_source(source, config, seed=args.seed,
@@ -255,7 +263,7 @@ def cmd_verify(args) -> int:
     from .verifier import verify_binary
 
     source = _read_source(args.source, not args.no_prototypes)
-    config = ALL_CONFIGS[args.config]
+    config = _apply_checkopt(ALL_CONFIGS[args.config], args)
     registry = _activate_obs(args)
     try:
         binary = compile_source(source, config, seed=args.seed)
@@ -268,7 +276,7 @@ def cmd_verify(args) -> int:
 
 def cmd_disasm(args) -> int:
     source = _read_source(args.source, not args.no_prototypes)
-    config = ALL_CONFIGS[args.config]
+    config = _apply_checkopt(ALL_CONFIGS[args.config], args)
     binary = compile_source(source, config, seed=args.seed)
     addr_to_label = {}
     for name, addr in binary.label_addrs.items():
@@ -289,6 +297,7 @@ def run_bench_suite(
     configs: dict | None = None,
     runtime_factory=None,
     jobs: int | None = None,
+    checkopt: str | None = None,
 ) -> tuple[list[dict], list[dict]]:
     """Compile + run ``source`` under every configuration.
 
@@ -309,6 +318,15 @@ def run_bench_suite(
     # are identical whatever the build width.
     session = default_session()
     config_map = configs if configs is not None else ALL_CONFIGS
+    if checkopt:
+        config_map = {
+            name: (
+                config.variant(checkopt=checkopt)
+                if config.checkopt != checkopt
+                else config
+            )
+            for name, config in config_map.items()
+        }
     requests = [
         BuildRequest(source=source, config=config, seed=seed)
         for config in config_map.values()
@@ -373,6 +391,7 @@ def cmd_bench(args) -> int:
             engine=args.engine,
             runtime_factory=lambda: _make_runtime(args),
             jobs=getattr(args, "jobs", None),
+            checkopt=getattr(args, "checkopt", None),
         )
     finally:
         _finish_obs(args, registry)
@@ -493,6 +512,10 @@ def cmd_report(args) -> int:
         config_map = {n: ALL_CONFIGS[n] for n in ALL_CONFIGS if n in wanted}
     else:
         config_map = dict(ALL_CONFIGS)
+    config_map = {
+        name: _apply_checkopt(config, args)
+        for name, config in config_map.items()
+    }
 
     registry = _activate_obs(args)
     results: dict[str, dict] = {}
@@ -512,7 +535,49 @@ def cmd_report(args) -> int:
             results[name] = {
                 "cycles": process.wall_cycles,
                 "summary": blockprof.check_summary(),
+                "bnd_sites": sum(
+                    1 for kind in binary.check_sites.values()
+                    if kind == "bnd"
+                ),
             }
+        # Check-elision attribution: at --checkopt aggressive, rebuild
+        # every bounds-checked config with the optimizer off and charge
+        # the difference (sites and profiled bnd cycles) to checkopt.
+        if getattr(args, "checkopt", None) == "aggressive":
+            elidable = {
+                name: config.variant(checkopt="off")
+                for name, config in config_map.items()
+                if config.scheme == "mpx"
+            }
+            off_requests = [
+                BuildRequest(source=source, config=config, seed=args.seed)
+                for config in elidable.values()
+            ]
+            for (name, _config), binary in zip(
+                elidable.items(), session.build_many(off_requests)
+            ):
+                process = load(binary, runtime=_make_runtime(args),
+                               engine=args.engine)
+                blockprof = attach_block_profiler(process.machine)
+                process.run()
+                off_summary = blockprof.check_summary()
+                entry = results[name]
+                sites_off = sum(
+                    1 for kind in binary.check_sites.values()
+                    if kind == "bnd"
+                )
+                entry["checkopt"] = {
+                    "level": "aggressive",
+                    "bnd_sites": entry["bnd_sites"],
+                    "bnd_sites_off": sites_off,
+                    "sites_elided": sites_off - entry["bnd_sites"],
+                    "bnd_cycles": entry["summary"]["bnd"]["cycles"],
+                    "bnd_cycles_off": off_summary["bnd"]["cycles"],
+                    "bnd_cycles_saved": (
+                        off_summary["bnd"]["cycles"]
+                        - entry["summary"]["bnd"]["cycles"]
+                    ),
+                }
     finally:
         _finish_obs(args, registry)
 
@@ -542,17 +607,18 @@ def cmd_report(args) -> int:
             if base_cycles
             else 0.0,
         }
-        report.append(
-            {
-                "config": name,
-                "cycles": cycles,
-                "delta": delta,
-                "overhead_pct": round(100.0 * delta / base_cycles, 2)
-                if base_cycles
-                else 0.0,
-                "breakdown": breakdown,
-            }
-        )
+        entry = {
+            "config": name,
+            "cycles": cycles,
+            "delta": delta,
+            "overhead_pct": round(100.0 * delta / base_cycles, 2)
+            if base_cycles
+            else 0.0,
+            "breakdown": breakdown,
+        }
+        if "checkopt" in results[name]:
+            entry["checkopt"] = results[name]["checkopt"]
+        report.append(entry)
     if args.json:
         print(
             json.dumps(
@@ -588,6 +654,28 @@ def cmd_report(args) -> int:
             title="check-overhead decomposition (cycles)",
         )
     )
+    ck_rows = [
+        [
+            entry["config"],
+            ck["bnd_sites_off"],
+            ck["bnd_sites"],
+            ck["sites_elided"],
+            f"{ck['bnd_cycles_off']:,}",
+            f"{ck['bnd_cycles']:,}",
+            f"{ck['bnd_cycles_saved']:,}",
+        ]
+        for entry in report
+        if (ck := entry.get("checkopt"))
+    ]
+    if ck_rows:
+        print(
+            export.render_table(
+                ["config", "sites@off", "sites", "elided", "bnd_cyc@off",
+                 "bnd_cyc", "saved"],
+                ck_rows,
+                title="checkopt attribution (aggressive vs off)",
+            )
+        )
     return 0
 
 
@@ -597,6 +685,7 @@ def cmd_stats(args) -> int:
     all_spans: list[events.Span] = []
     rows = []
     for name, config in ALL_CONFIGS.items():
+        config = _apply_checkopt(config, args)
         registry = events.Registry()
         note = ""
         with events.use(registry):
@@ -665,7 +754,7 @@ def cmd_build(args) -> int:
     the linker instead of compile errors.
     """
     session = default_session()
-    config = ALL_CONFIGS[args.config]
+    config = _apply_checkopt(ALL_CONFIGS[args.config], args)
     allow_undefined = args.allow_undefined or len(args.sources) > 1
     objs = []
     for path in args.sources:
@@ -796,7 +885,7 @@ def cmd_serve(args) -> int:
     from .obs import bench_store
     from .serve import run_load
 
-    config = ALL_CONFIGS[args.config]
+    config = _apply_checkopt(ALL_CONFIGS[args.config], args)
     report = run_load(
         args.app,
         config,
@@ -898,6 +987,9 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("source", help="MiniC source file")
         p.add_argument("--config", default=OUR_MPX.name,
                        choices=sorted(ALL_CONFIGS))
+        p.add_argument("--checkopt", default=None,
+                       choices=CHECKOPT_LEVELS,
+                       help="post-codegen check-optimization level (off/safe/aggressive; default from config)")
         p.add_argument("--seed", type=int, default=None)
         p.add_argument("--no-prototypes", action="store_true",
                        help="do not prepend the standard T prototypes")
@@ -958,6 +1050,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--configs", default=None, metavar="A,B",
                    help="comma-separated config subset "
                         "(Base is always included as the baseline)")
+    p.add_argument("--checkopt", default=None,
+                   choices=CHECKOPT_LEVELS,
+                   help="post-codegen check-optimization level (off/safe/aggressive; default from config); at aggressive, report "
+                        "additionally attributes per-config savings "
+                        "against a checkopt=off rebuild")
     p.add_argument("--seed", type=int, default=None)
     p.add_argument("--no-prototypes", action="store_true",
                    help="do not prepend the standard T prototypes")
@@ -989,6 +1086,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="MiniC source files, or prebuilt .uo objects")
     p.add_argument("--config", default=OUR_MPX.name,
                    choices=sorted(ALL_CONFIGS))
+    p.add_argument("--checkopt", default=None,
+                   choices=CHECKOPT_LEVELS,
+                   help="post-codegen check-optimization level (off/safe/aggressive; default from config)")
     p.add_argument("--seed", type=int, default=None)
     p.add_argument("--no-prototypes", action="store_true",
                    help="do not prepend the standard T prototypes")
@@ -1021,11 +1121,14 @@ def build_parser() -> argparse.ArgumentParser:
              "(fully reproducible from --seed)",
     )
     p.add_argument("--engine", default="all",
-                   choices=("program", "mutation", "corpus", "all"),
+                   choices=("program", "mutation", "corpus", "witness",
+                            "all"),
                    help="program: differential fuzzing of generated "
                         "MiniC; mutation: mutation-kill run against "
                         "ConfVerify; corpus: replay frozen regression "
-                        "cases; all: program + mutation (+ corpus when "
+                        "cases; witness: corrupted-witness kill run "
+                        "against the translation checkers; all: "
+                        "program + mutation + witness (+ corpus when "
                         "--corpus is given)")
     p.add_argument("--seed", type=int, default=0,
                    help="base seed; case i uses seed+i (default 0)")
@@ -1060,6 +1163,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="serveable app (see repro.serve.apps)")
     p.add_argument("--config", default=OUR_MPX.name,
                    choices=sorted(ALL_CONFIGS))
+    p.add_argument("--checkopt", default=None,
+                   choices=CHECKOPT_LEVELS,
+                   help="post-codegen check-optimization level (off/safe/aggressive; default from config)")
     p.add_argument("--seed", type=int, default=None)
     p.add_argument("--engine", default="predecoded",
                    choices=("predecoded", "superblock", "reference"),

@@ -19,6 +19,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass, replace
 
+#: Check-optimization levels, weakest to strongest (see BuildConfig.checkopt).
+CHECKOPT_LEVELS = ("off", "safe", "aggressive")
+
 
 @dataclass(frozen=True)
 class BuildConfig:
@@ -41,6 +44,14 @@ class BuildConfig:
     # MPX optimization toggles (for the ablation benchmarks).
     coalesce_checks: bool = True
     elide_small_disp: bool = True
+    # Check-optimization level (the certified pipeline's dial):
+    #   "off"        — conservatively preserve every inserted check
+    #                  (no coalescing, no small-displacement elision);
+    #   "safe"       — the paper's codegen-time MPX optimizations
+    #                  (the default; bit-identical to historical output);
+    #   "aggressive" — "safe" plus the post-codegen witnessed check
+    #                  optimizer (repro.opt.checkopt) on the ISA stream.
+    checkopt: str = "safe"
     # Ablation: classic shadow-stack CFI instead of magic sequences.
     shadow_stack: bool = False
     # Strict mode (reject implicit flows); the paper runs strict.
@@ -49,6 +60,13 @@ class BuildConfig:
     # defaults to private, and branching on private data is allowed
     # (there are no public sinks, so implicit flows are impossible).
     all_private: bool = False
+
+    def __post_init__(self):
+        if self.checkopt not in CHECKOPT_LEVELS:
+            raise ValueError(
+                f"unknown checkopt level {self.checkopt!r} "
+                f"(choose from {', '.join(CHECKOPT_LEVELS)})"
+            )
 
     @property
     def instrumented(self) -> bool:

@@ -14,6 +14,14 @@ Two engines share this module:
   mutants.  A surviving mutant is a verifier soundness bug; the harness
   shrinks its program with :func:`repro.fuzz.minimize.ddmin_lines` and
   reports the minimized repro.
+* :func:`fuzz_witnesses` runs the certified optimization passes (IR
+  passes and the post-codegen check optimizer) over each generated
+  program, then corrupts every emitted witness — stale digests, dropped
+  or phantom obligations, flipped taints, garbled claims, shifted or
+  self-referential edit scripts — and asserts the translation checkers
+  (:func:`repro.opt.witness.check_witness`,
+  :func:`repro.opt.checkopt.check_checkopt_witness`) reject 100% of the
+  corruptions.  An accepted corruption is a checker soundness bug.
 
 Everything is reproducible from ``(seed, n, size)`` alone: program i
 uses generator seed ``seed + i``, builds are deterministic, and the
@@ -59,7 +67,7 @@ _PERF = ("cycles", "instructions", "bnd_checks", "cfi_checks")
 class Finding:
     """One reproducible failure the harness uncovered."""
 
-    engine: str  # "program" | "mutation" | "corpus"
+    engine: str  # "program" | "mutation" | "corpus" | "witness"
     kind: str  # e.g. "config-divergence", "mutant-survived"
     detail: str
     seed: int | None = None
@@ -105,7 +113,8 @@ class FuzzReport:
             f"fuzz.{self.engine}: seed={self.seed} "
             f"iterations={self.iterations} findings={len(self.findings)}"
         ]
-        if self.engine in ("mutation", "corpus") and self.mutants_total:
+        if self.engine in ("mutation", "corpus", "witness") \
+                and self.mutants_total:
             lines.append(
                 f"  mutation-kill: {self.mutants_killed}/"
                 f"{self.mutants_total} ({self.kill_score:.1%}), "
@@ -371,6 +380,252 @@ def fuzz_mutants(
     return report
 
 
+
+# ---------------------------------------------------------------------------
+# The witness engine: corrupted certification artifacts must be rejected.
+
+
+def _corrupt_ir_witnesses(witness):
+    """Yield ``(operator, corrupted)`` variants of an IR pass witness.
+
+    Every variant is wrong by construction, so the checker accepting
+    one is a soundness finding.  Obligations are shared (they are
+    frozen); only the witness shell and the obligation list are copied.
+    """
+    from ..opt.witness import Obligation, Witness
+
+    def clone(**overrides):
+        w = Witness(
+            witness.pass_name,
+            witness.function,
+            witness.origin,
+            witness.pre_digest,
+        )
+        w.post_digest = witness.post_digest
+        w.obligations = list(witness.obligations)
+        for key, value in overrides.items():
+            setattr(w, key, value)
+        return w
+
+    yield "stale-pre-digest", clone(pre_digest="0" * 64)
+    yield "stale-post-digest", clone(post_digest="0" * 64)
+    if witness.obligations:
+        yield "drop-obligations", clone(obligations=[])
+    phantom = clone()
+    phantom.obligations.append(
+        Obligation("taint", "__phantom__@0", ("rewrite", (), ()))
+    )
+    yield "phantom-obligation", phantom
+    for i, ob in enumerate(witness.obligations):
+        if ob.claim[:1] == ("rewrite",) and ob.claim[2]:
+            flipped = clone()
+            flipped.obligations[i] = Obligation(
+                ob.kind,
+                ob.site,
+                (ob.claim[0], ob.claim[1], tuple(t ^ 1 for t in ob.claim[2])),
+            )
+            yield "taint-flip", flipped
+            break
+        if ob.claim[:1] == ("promoted",):
+            flipped = clone()
+            flipped.obligations[i] = Obligation(
+                ob.kind, ob.site, (ob.claim[0], ob.claim[1], ob.claim[2] ^ 1)
+            )
+            yield "taint-flip", flipped
+            break
+    for i, ob in enumerate(witness.obligations):
+        if ob.site.startswith("slot:") or ob.site.endswith("@init"):
+            continue  # claim shape is keyed by site kind for these
+        garbled = clone()
+        garbled.obligations[i] = Obligation(
+            ob.kind, ob.site, ("bogus-claim",)
+        )
+        yield "garble-claim", garbled
+        break
+
+
+def _corrupt_checkopt_witnesses(witness):
+    """Yield ``(operator, corrupted)`` variants of a checkopt witness."""
+    from ..opt.checkopt import CheckOptWitness
+
+    def clone(**overrides):
+        w = CheckOptWitness(
+            witness.function, witness.pre_digest, witness.post_digest
+        )
+        w.edits = list(witness.edits)
+        for key, value in overrides.items():
+            setattr(w, key, value)
+        return w
+
+    yield "stale-pre-digest", clone(pre_digest="0" * 64)
+    yield "stale-post-digest", clone(post_digest="0" * 64)
+    yield "drop-edit", clone(edits=witness.edits[1:])
+    first = witness.edits[0]
+    shifted = clone()
+    shifted.edits[0] = (first[0], first[1] + 1, *first[2:])
+    yield "shift-edit", shifted
+    for i, edit in enumerate(witness.edits):
+        if edit[0] in ("elide", "dedup-lea"):
+            selfref = clone()
+            selfref.edits[i] = (edit[0], edit[1], edit[1])
+            yield "self-provider", selfref
+            doubled = clone()
+            doubled.edits.append(edit)
+            yield "double-delete", doubled
+            break
+
+
+def fuzz_witnesses(
+    seed: int,
+    n: int,
+    size: int = DEFAULT_SIZE,
+    deadline: float | None = None,
+    stride: int = 1,
+) -> FuzzReport:
+    """Corrupted-witness kill run over ``n`` generated programs.
+
+    Runs every certified pass (the five IR passes, then the post-
+    codegen check optimizer) on each program, first asserting the
+    honest witness is accepted, then asserting every corruption of it
+    is rejected with :class:`~repro.opt.witness.WitnessError`.  A
+    corruption the checker accepts — or crashes on — is a finding.
+    ``stride`` > 1 corrupts every stride-th emitted witness (honest
+    validation still covers all of them).
+    """
+    from ..backend.codegen import compile_module
+    from ..frontend.lower import lower_program
+    from ..minic.parser import parse as parse_minic
+    from ..minic.sema import analyze
+    from ..opt.checkopt import check_checkopt_witness, optimize_checks
+    from ..opt.pipeline import CSE_LOCAL, ITER_PASSES, PROMOTE_SLOTS
+    from ..opt.witness import (
+        Witness,
+        WitnessError,
+        check_witness,
+        function_digest,
+        snapshot_function,
+    )
+
+    report = FuzzReport(engine="witness", seed=seed)
+    config = OUR_MPX
+    emitted = 0
+
+    def corrupt(variants, checker, label):
+        nonlocal emitted
+        emitted += 1
+        if (emitted - 1) % stride:
+            return
+        for operator, bad in variants:
+            report.mutants_total += 1
+            events.counter("fuzz.witness_mutants", operator=operator).inc()
+            try:
+                checker(bad)
+            except WitnessError:
+                report.mutants_killed += 1
+                events.counter("fuzz.witness_kills", outcome="killed").inc()
+                continue
+            except Exception as err:  # checker must reject, not crash
+                events.counter("fuzz.witness_kills", outcome="crash").inc()
+                report.findings.append(
+                    Finding(
+                        engine="witness",
+                        kind="checker-crash",
+                        detail=f"{label}: {operator}: checker raised "
+                        f"{type(err).__name__}: {err}",
+                        seed=report.seed,
+                        operator=operator,
+                    )
+                )
+                continue
+            events.counter("fuzz.witness_kills", outcome="survived").inc()
+            report.findings.append(
+                Finding(
+                    engine="witness",
+                    kind="corrupt-witness-accepted",
+                    detail=f"{label}: corruption {operator} was accepted "
+                    "by the translation checker",
+                    seed=report.seed,
+                    operator=operator,
+                )
+            )
+
+    for i in range(n):
+        if deadline is not None and time.monotonic() > deadline:
+            break
+        case_seed = seed + i
+        source = T_PROTOTYPES + _strip_prototypes(
+            generate_source(case_seed, size)
+        )
+        checked = analyze(
+            parse_minic(source, "<fuzz>"),
+            strict=config.strict,
+            all_private=config.all_private,
+        )
+        module = lower_program(checked)
+        report.iterations += 1
+        passes = (PROMOTE_SLOTS,) + ITER_PASSES + (CSE_LOCAL,)
+        for func in module.functions.values():
+            for _round in range(8):
+                changed_any = False
+                for pass_obj in passes:
+                    snapshot = snapshot_function(func)
+                    witness = Witness(
+                        pass_obj.name,
+                        func.name,
+                        func.origin,
+                        function_digest(func),
+                    )
+                    if not pass_obj.fn(func, witness=witness):
+                        continue
+                    changed_any = True
+                    witness.post_digest = function_digest(func)
+                    try:
+                        check_witness(witness, snapshot, func)
+                    except WitnessError as err:
+                        report.findings.append(
+                            Finding(
+                                engine="witness",
+                                kind="honest-witness-rejected",
+                                detail=f"{func.name}/{pass_obj.name}: "
+                                f"{err}",
+                                seed=case_seed,
+                            )
+                        )
+                        continue
+                    corrupt(
+                        _corrupt_ir_witnesses(witness),
+                        lambda bad: check_witness(bad, snapshot, func),
+                        f"{func.name}/{pass_obj.name}",
+                    )
+                if not changed_any:
+                    break
+        obj = compile_module(module, config)
+        for func in obj.functions:
+            optimized, witness = optimize_checks(func.insns, func.name)
+            if not witness.edits:
+                continue
+            try:
+                check_checkopt_witness(witness, func.insns, optimized)
+            except WitnessError as err:
+                report.findings.append(
+                    Finding(
+                        engine="witness",
+                        kind="honest-witness-rejected",
+                        detail=f"{func.name}/checkopt: {err}",
+                        seed=case_seed,
+                    )
+                )
+                continue
+            corrupt(
+                _corrupt_checkopt_witnesses(witness),
+                lambda bad, pre=func.insns, post=optimized: (
+                    check_checkopt_witness(bad, pre, post)
+                ),
+                f"{func.name}/checkopt",
+            )
+    return report
+
+
 def run_fuzz(
     engine: str = "all",
     seed: int = 0,
@@ -383,13 +638,14 @@ def run_fuzz(
 ) -> list[FuzzReport]:
     """Dispatch one or more fuzzing engines and collect their reports.
 
-    ``engine`` is "program", "mutation", "corpus", or "all" (program +
-    mutation, plus corpus when ``corpus_dir`` is given).  ``budget``
-    caps the wall-clock seconds spent across the run.
+    ``engine`` is "program", "mutation", "corpus", "witness", or "all"
+    (program + mutation + witness, plus corpus when ``corpus_dir`` is
+    given).  ``budget`` caps the wall-clock seconds spent across the
+    run.
     """
     deadline = time.monotonic() + budget if budget else None
     reports: list[FuzzReport] = []
-    if engine not in ("program", "mutation", "corpus", "all"):
+    if engine not in ("program", "mutation", "corpus", "witness", "all"):
         raise ReproError(f"unknown fuzz engine {engine!r}")
     if engine in ("program", "all"):
         reports.append(
@@ -402,6 +658,12 @@ def run_fuzz(
             fuzz_mutants(
                 seed, n, size=size, minimize=minimize,
                 deadline=deadline, stride=stride,
+            )
+        )
+    if engine in ("witness", "all"):
+        reports.append(
+            fuzz_witnesses(
+                seed, n, size=size, deadline=deadline, stride=stride
             )
         )
     if engine == "corpus" or (engine == "all" and corpus_dir):

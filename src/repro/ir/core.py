@@ -460,6 +460,11 @@ class IRFunction:
         self._next_vreg = 0
         self._next_slot = 0
         self._next_block = 0
+        # Lowering provenance, stamped by the frontend: identifies the
+        # as-lowered (pre-optimization) body.  Optimization witnesses
+        # carry it so the checker can reject a witness replayed against
+        # a different function (see repro.opt.witness).
+        self.origin = ""
 
     def new_vreg(self, taint: Taint, hint: str = "") -> VReg:
         vreg = VReg(self._next_vreg, taint, hint)

@@ -10,6 +10,13 @@ The OurBare-vs-Base gap in Figure 5 partly comes from exactly this.
 All passes here preserve the taint invariants: they never change the
 taint of a virtual register or the region of a memory access; they only
 remove or replace instructions whose results are provably equivalent.
+
+Each pass accepts an optional ``witness`` (a
+:class:`repro.opt.witness.Witness`): when present, the pass records one
+obligation per rewrite — the claims the independent translation checker
+(:func:`repro.opt.witness.check_witness`) re-derives from the pre/post
+IR before the pipeline commits the rewrite.  Passing ``witness=None``
+runs the pass uncertified (direct unit-test use).
 """
 
 from __future__ import annotations
@@ -42,7 +49,7 @@ from ..ir.core import (
 # Slot promotion (mem2reg-lite)
 
 
-def promote_slots(func: IRFunction) -> bool:
+def promote_slots(func: IRFunction, witness=None) -> bool:
     """Turn non-address-taken scalar frame slots into virtual registers.
 
     Promoted registers are zero-initialized at entry so that reads of
@@ -85,17 +92,33 @@ def promote_slots(func: IRFunction) -> bool:
         uid: func.new_vreg(slot.taint, f"p.{slot.name}")
         for uid, slot in promotable.items()
     }
+    if witness is not None:
+        for uid, slot in promotable.items():
+            witness.add(
+                "layout", f"slot:{uid}", "promoted", regs[uid].id,
+                int(slot.taint),
+            )
     for block in func.blocks:
         new_instrs = []
-        for instr in block.instrs:
+        for i, instr in enumerate(block.instrs):
             if isinstance(instr, Load) and instr.mem.slot is not None:
                 reg = regs.get(instr.mem.slot.uid)
                 if reg is not None:
+                    if witness is not None:
+                        witness.add(
+                            "layout", f"{block.name}@{i}",
+                            "slot-access", instr.mem.slot.uid, reg.id,
+                        )
                     new_instrs.append(Copy(instr.dst, reg))
                     continue
             if isinstance(instr, Store) and instr.mem.slot is not None:
                 reg = regs.get(instr.mem.slot.uid)
                 if reg is not None:
+                    if witness is not None:
+                        witness.add(
+                            "layout", f"{block.name}@{i}",
+                            "slot-access", instr.mem.slot.uid, reg.id,
+                        )
                     new_instrs.append(Copy(reg, instr.src))
                     continue
             new_instrs.append(instr)
@@ -103,6 +126,11 @@ def promote_slots(func: IRFunction) -> bool:
     entry = func.blocks[0]
     inits = [Const(reg, 0) for reg in regs.values()]
     entry.instrs[:0] = inits
+    if witness is not None:
+        witness.add(
+            "taint", f"{entry.name}@init", "zero-init",
+            tuple(reg.id for reg in regs.values()),
+        )
     func.slots = [s for s in func.slots if s.uid not in promotable]
     return True
 
@@ -117,7 +145,11 @@ def _subst(operand, env):
     return operand
 
 
-def copyprop_and_fold(func: IRFunction) -> bool:
+def _def_taints(instr) -> tuple:
+    return tuple(int(v.taint) for v in instr.defs())
+
+
+def copyprop_and_fold(func: IRFunction, witness=None) -> bool:
     """Forward-propagate copies/constants within each block and fold
     constant expressions.  Taints are preserved: a propagated value is
     only substituted into positions whose taint the original register
@@ -127,8 +159,16 @@ def copyprop_and_fold(func: IRFunction) -> bool:
     for block in func.blocks:
         env: dict[int, object] = {}  # vreg id -> replacement Operand
         new_instrs = []
-        for instr in block.instrs:
-            instr = _rewrite_uses(instr, env)
+
+        def note(i, old, new, block=block):
+            if witness is not None and new != old:
+                witness.add(
+                    "taint", f"{block.name}@{i}", "rewrite",
+                    _def_taints(old), _def_taints(new),
+                )
+
+        for i, original in enumerate(block.instrs):
+            instr = _rewrite_uses(original, env)
             # Kill mappings for anything this instruction redefines.
             for d in instr.defs():
                 env.pop(d.id, None)
@@ -149,17 +189,22 @@ def copyprop_and_fold(func: IRFunction) -> bool:
                     except MachineFault:
                         value = None
                     if value is not None:
-                        new_instrs.append(Const(instr.dst, value))
+                        folded = Const(instr.dst, value)
+                        note(i, original, folded)
+                        new_instrs.append(folded)
                         env[instr.dst.id] = value
                         changed = True
                         continue
             elif isinstance(instr, Un):
                 if isinstance(instr.src, int):
                     value = eval_un(instr.op, instr.src)
-                    new_instrs.append(Const(instr.dst, value))
+                    folded = Const(instr.dst, value)
+                    note(i, original, folded)
+                    new_instrs.append(folded)
                     env[instr.dst.id] = value
                     changed = True
                     continue
+            note(i, original, instr)
             new_instrs.append(instr)
         if new_instrs != block.instrs:
             changed = True
@@ -258,9 +303,12 @@ def _rewrite_uses(instr, env):
 _PURE = (Const, Copy, Bin, Un, Lea, Load, VarArgAddr)
 
 
-def dce(func: IRFunction) -> bool:
+def dce(func: IRFunction, witness=None) -> bool:
     """Remove pure instructions whose results are never used."""
     changed = False
+    # Witness sites key deletions by *pre-pass* index, so track each
+    # surviving instruction's original position across rounds.
+    orig = {b.name: list(range(len(b.instrs))) for b in func.blocks}
     while True:
         used: set[int] = set()
         for block in func.blocks:
@@ -270,7 +318,8 @@ def dce(func: IRFunction) -> bool:
         removed = False
         for block in func.blocks:
             kept = []
-            for instr in block.instrs:
+            kept_orig = []
+            for pos, instr in enumerate(block.instrs):
                 if (
                     isinstance(instr, _PURE)
                     and not instr.is_terminator
@@ -278,9 +327,17 @@ def dce(func: IRFunction) -> bool:
                     and all(d.id not in used for d in instr.defs())
                 ):
                     removed = True
+                    if witness is not None:
+                        witness.add(
+                            "layout",
+                            f"{block.name}@{orig[block.name][pos]}",
+                            "dead", tuple(d.id for d in instr.defs()),
+                        )
                     continue
                 kept.append(instr)
+                kept_orig.append(orig[block.name][pos])
             block.instrs = kept
+            orig[block.name] = kept_orig
         if not removed:
             return changed
         changed = True
@@ -290,8 +347,9 @@ def dce(func: IRFunction) -> bool:
 # CFG simplification
 
 
-def simplify_cfg(func: IRFunction) -> bool:
+def simplify_cfg(func: IRFunction, witness=None) -> bool:
     changed = False
+    threaded: list[str] = []  # blocks whose terminator was rewritten
     # 1. Thread jumps to blocks that only contain a single Jump.
     block_map = func.block_map()
     forward: dict[str, str] = {}
@@ -312,15 +370,18 @@ def simplify_cfg(func: IRFunction) -> bool:
             target = resolve(term.target)
             if target != term.target:
                 block.instrs[-1] = Jump(target)
+                threaded.append(block.name)
                 changed = True
         elif isinstance(term, Branch):
             t = resolve(term.if_true)
             f = resolve(term.if_false)
             if t == f:
                 block.instrs[-1] = Jump(t)
+                threaded.append(block.name)
                 changed = True
             elif t != term.if_true or f != term.if_false:
                 block.instrs[-1] = Branch(term.cond, t, f)
+                threaded.append(block.name)
                 changed = True
 
     # 2. Remove unreachable blocks.
@@ -334,6 +395,12 @@ def simplify_cfg(func: IRFunction) -> bool:
         reachable.add(name)
         stack.extend(block_map[name].successors())
     if len(reachable) != len(func.blocks):
+        if witness is not None:
+            for block in func.blocks:
+                if block.name not in reachable:
+                    witness.add(
+                        "layout", f"block:{block.name}", "unreachable"
+                    )
         func.blocks = [b for b in func.blocks if b.name in reachable]
         changed = True
 
@@ -359,6 +426,10 @@ def simplify_cfg(func: IRFunction) -> bool:
                 break
             block.instrs = block.instrs[:-1] + succ.instrs
             merged.add(succ_name)
+            if witness is not None:
+                witness.add(
+                    "layout", f"block:{succ_name}", "merged", block.name
+                )
             preds.pop(succ_name, None)
             for name, plist in preds.items():
                 preds[name] = [
@@ -367,6 +438,14 @@ def simplify_cfg(func: IRFunction) -> bool:
             changed = True
     if merged:
         func.blocks = [b for b in func.blocks if b.name not in merged]
+    if witness is not None:
+        # Threaded terminators of blocks that did not survive the run
+        # (removed as unreachable or absorbed by a merge) need no
+        # obligation — the blocks' own removal claims cover them.
+        survivors = {b.name for b in func.blocks}
+        for name in threaded:
+            if name in survivors:
+                witness.add("taint", f"{name}@term", "thread")
     return changed
 
 
@@ -374,7 +453,7 @@ def simplify_cfg(func: IRFunction) -> bool:
 # Local common-subexpression elimination (vanilla-only pass)
 
 
-def cse_local(func: IRFunction) -> bool:
+def cse_local(func: IRFunction, witness=None) -> bool:
     """Block-local CSE over pure register computations.
 
     This pass models the optimizations ConfLLVM *disables* ("we chose to
@@ -385,7 +464,7 @@ def cse_local(func: IRFunction) -> bool:
     for block in func.blocks:
         available: dict[tuple, VReg] = {}
         new_instrs = []
-        for instr in block.instrs:
+        for i, instr in enumerate(block.instrs):
             key = None
             if isinstance(instr, Bin):
                 key = ("bin", instr.op, _okey(instr.a), _okey(instr.b))
@@ -395,6 +474,11 @@ def cse_local(func: IRFunction) -> bool:
             if key is not None:
                 prev = available.get(key)
                 if prev is not None and prev.taint == instr.defs()[0].taint:
+                    if witness is not None:
+                        witness.add(
+                            "taint", f"{block.name}@{i}", "cse",
+                            prev.id, instr.defs()[0].id,
+                        )
                     new_instrs.append(Copy(instr.defs()[0], prev))
                     changed = True
                     replaced = True

@@ -75,9 +75,9 @@ def test_budget_truncates_but_never_fails():
     assert report.ok
 
 
-def test_run_fuzz_dispatches_both_engines():
+def test_run_fuzz_dispatches_all_engines():
     reports = run_fuzz(engine="all", seed=4, n=1, size=5, stride=64)
-    assert [r.engine for r in reports] == ["program", "mutation"]
+    assert [r.engine for r in reports] == ["program", "mutation", "witness"]
     assert all(r.ok for r in reports)
 
 

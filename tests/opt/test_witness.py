@@ -1,0 +1,249 @@
+"""Certified pass framework tests: witness emission, validation,
+rejection-and-revert, and the bounded fixpoint loop."""
+
+import pytest
+
+from repro.frontend import lower_program
+from repro.ir import Const, VReg, verify_module
+from repro.minic import analyze, parse
+from repro.obs import events
+from repro.opt import (
+    MAX_ITERATIONS,
+    Obligation,
+    Pass,
+    Witness,
+    WitnessError,
+    check_witness,
+    function_digest,
+    optimize_module,
+    run_certified_pass,
+    snapshot_function,
+)
+from repro.opt.pipeline import DCE, ITER_PASSES, PROMOTE_SLOTS
+from repro.runtime.trusted import T_PROTOTYPES
+from repro.taint import Taint
+
+SOURCE = """
+int f(int n) {
+    int s = 0;
+    for (int i = 0; i < n; i++) { s += i + 0; }
+    return s * 1;
+}
+
+int main() { return f(5); }
+"""
+
+
+def ir_of(source=SOURCE):
+    return lower_program(analyze(parse(source)))
+
+
+def blocks_repr(func):
+    return {b.name: [repr(i) for i in b.instrs] for b in func.blocks}
+
+
+def emit_witness(pass_obj, func):
+    """Run one pass by hand, returning (snapshot, accepted witness)."""
+    snapshot = snapshot_function(func)
+    witness = Witness(
+        pass_obj.name, func.name, func.origin, function_digest(func)
+    )
+    changed = pass_obj.fn(func, witness=witness)
+    assert changed, f"{pass_obj.name} made no change on the test input"
+    witness.post_digest = function_digest(func)
+    check_witness(witness, snapshot, func)
+    return snapshot, witness
+
+
+class TestAcceptance:
+    def test_real_passes_accepted_and_applied(self):
+        module = ir_of()
+        f = module.functions["f"]
+        before = function_digest(f)
+        changed, witness = run_certified_pass(PROMOTE_SLOTS, f)
+        assert changed and witness is not None
+        assert witness.post_digest == function_digest(f) != before
+        assert witness.obligations
+        verify_module(module)
+
+    def test_unchanged_pass_returns_no_witness(self):
+        module = ir_of("int main() { return 0; }")
+        f = module.functions["main"]
+        changed, witness = run_certified_pass(DCE, f)
+        assert not changed and witness is None
+
+    def test_full_pipeline_accepts_everything(self):
+        registry = events.Registry()
+        with events.use(registry):
+            module = optimize_module(ir_of())
+        snap = registry.metrics_snapshot()
+        rejected = {
+            k: v for k, v in snap.items() if "witness_rejected" in k
+        }
+        assert not rejected, rejected
+        assert module.opt_witness_digest
+
+    def test_witness_digest_deterministic(self):
+        a = optimize_module(ir_of()).opt_witness_digest
+        b = optimize_module(ir_of()).opt_witness_digest
+        assert a == b
+
+
+class TestRejection:
+    def corrupt_and_expect(self, mutate):
+        module = ir_of()
+        f = module.functions["f"]
+        snapshot, witness = emit_witness(PROMOTE_SLOTS, f)
+        mutate(witness)
+        with pytest.raises(WitnessError):
+            check_witness(witness, snapshot, f)
+
+    def test_stale_pre_digest(self):
+        self.corrupt_and_expect(
+            lambda w: setattr(w, "pre_digest", "0" * 64)
+        )
+
+    def test_stale_post_digest(self):
+        self.corrupt_and_expect(
+            lambda w: setattr(w, "post_digest", "0" * 64)
+        )
+
+    def test_dropped_obligations(self):
+        self.corrupt_and_expect(lambda w: w.obligations.clear())
+
+    def test_phantom_obligation_on_unchanged_block(self):
+        self.corrupt_and_expect(
+            lambda w: w.obligations.append(
+                Obligation("taint", "__phantom__@0", ("rewrite", (), ()))
+            )
+        )
+
+    def test_wrong_pass_name_rejected(self):
+        module = ir_of()
+        f = module.functions["f"]
+        snapshot, witness = emit_witness(PROMOTE_SLOTS, f)
+        witness.pass_name = "no_such_pass"
+        with pytest.raises(WitnessError):
+            check_witness(witness, snapshot, f)
+
+    def test_taint_flip_rejected(self):
+        module = ir_of()
+        f = module.functions["f"]
+        snapshot, witness = emit_witness(PROMOTE_SLOTS, f)
+        flipped = False
+        for i, ob in enumerate(witness.obligations):
+            if ob.claim[:1] == ("promoted",):
+                witness.obligations[i] = Obligation(
+                    ob.kind,
+                    ob.site,
+                    (ob.claim[0], ob.claim[1], ob.claim[2] ^ 1),
+                )
+                flipped = True
+                break
+        assert flipped
+        with pytest.raises(WitnessError):
+            check_witness(witness, snapshot, f)
+
+
+class TestRevert:
+    def test_bad_pass_is_reverted_and_counted(self):
+        """A pass that rewrites without justification is rolled back."""
+
+        def evil(func, witness=None):
+            # Delete the first instruction of the entry block and claim
+            # nothing: the changed-block coverage check must fire.
+            func.blocks[0].instrs.pop(0)
+            return True
+
+        module = ir_of()
+        f = module.functions["f"]
+        before = blocks_repr(f)
+        registry = events.Registry()
+        with events.use(registry):
+            changed, witness = run_certified_pass(Pass("dce", evil), f)
+        assert not changed and witness is None
+        assert blocks_repr(f) == before  # reverted in place
+        snap = registry.metrics_snapshot()
+        assert snap.get("opt.witness_rejected{pass=dce}") == 1
+
+    def test_taint_laundering_pass_is_reverted(self):
+        """A pass that flips a vreg's taint is caught by the global
+        taint-preservation check, whatever it claims."""
+
+        def launder(func, witness=None):
+            for block in func.blocks:
+                for instr in block.instrs:
+                    for v in instr.defs():
+                        if v.taint is Taint.PRIVATE:
+                            v.taint = Taint.PUBLIC
+                            return True
+            return False
+
+        module = ir_of(
+            T_PROTOTYPES
+            + """
+            int main() {
+                private int secret = 42;
+                return declassify_int(secret + 0);
+            }
+            """
+        )
+        f = module.functions["main"]
+        before = blocks_repr(f)
+        changed, witness = run_certified_pass(Pass("dce", launder), f)
+        assert not changed and witness is None
+        assert blocks_repr(f) == before
+
+
+class TestBoundedFixpoint:
+    def test_ping_pong_terminates_at_cap(self, monkeypatch):
+        """Two passes that undo each other stop at MAX_ITERATIONS."""
+        from repro.opt import pipeline
+
+        def is_marker(instr):
+            return isinstance(instr, Const) and instr.value == 77777
+
+        def ping(func, witness=None):
+            entry = func.blocks[0]
+            if entry.instrs and is_marker(entry.instrs[0]):
+                return False
+            entry.instrs.insert(
+                0, Const(func.new_vreg(Taint.PUBLIC), 77777)
+            )
+            return True
+
+        def pong(func, witness=None):
+            entry = func.blocks[0]
+            if entry.instrs and is_marker(entry.instrs[0]):
+                entry.instrs.pop(0)
+                return True
+            return False
+
+        monkeypatch.setattr(
+            pipeline,
+            "ITER_PASSES",
+            (Pass("dce", ping), Pass("dce", pong)),
+        )
+        # Accept every witness: the cap, not certification, must stop
+        # the ping-pong.
+        monkeypatch.setattr(
+            pipeline, "check_witness", lambda *a, **k: None
+        )
+        module = ir_of("int main() { return 0; }")
+        registry = events.Registry()
+        with events.use(registry):
+            optimize_module(module, verify=False)
+        snap = registry.metrics_snapshot()
+        iters = snap["opt.fixpoint_iters{pipeline=confllvm}"]
+        assert iters["max"] == MAX_ITERATIONS
+
+    def test_real_pipeline_converges_under_cap(self):
+        registry = events.Registry()
+        with events.use(registry):
+            optimize_module(ir_of())
+        snap = registry.metrics_snapshot()
+        iters = snap["opt.fixpoint_iters{pipeline=confllvm}"]
+        assert iters["max"] < MAX_ITERATIONS
+
+    def test_iter_passes_are_certified_passes(self):
+        assert all(isinstance(p, Pass) for p in ITER_PASSES)
